@@ -1,0 +1,304 @@
+package tdb
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"tdb/internal/wal"
+	"tdb/temporal"
+)
+
+// stateDigest captures everything observable about a database, for
+// before/after-recovery comparison.
+func stateDigest(t *testing.T, db *DB) []string {
+	t.Helper()
+	var out []string
+	for _, name := range db.Relations() {
+		rel, err := db.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, "rel:"+name+":"+rel.Kind().String())
+		for _, v := range rel.Versions() {
+			out = append(out, name+":"+v.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func digestsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildMixedDB populates one relation of every kind through dated history.
+func buildMixedDB(t *testing.T, db *DB) {
+	t.Helper()
+	sch := facultySchema(t)
+	for _, k := range []Kind{Static, StaticRollback, Historical, Temporal} {
+		if _, err := db.CreateRelation("r_"+k.String(), k, sch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.CreateEventRelation("r_events", Temporal, sch); err != nil {
+		t.Fatal(err)
+	}
+	for i, at := range []temporal.Chronon{d770825, d821201, d821215} {
+		rank := []string{"a", "b", "c"}[i]
+		if err := db.UpdateAt(at, func(tx *Tx) error {
+			for _, k := range []Kind{Static, StaticRollback} {
+				h, _ := tx.Rel("r_" + k.String())
+				tup := fac("X", rank)
+				if err := h.Insert(tup); errors.Is(err, ErrDuplicateKey) {
+					if err := h.Replace(Key(String("X")), tup); err != nil {
+						return err
+					}
+				} else if err != nil {
+					return err
+				}
+			}
+			for _, k := range []Kind{Historical, Temporal} {
+				h, _ := tx.Rel("r_" + k.String())
+				if err := h.Assert(fac("X", rank), at, temporal.Forever); err != nil {
+					return err
+				}
+			}
+			ev, _ := tx.Rel("r_events")
+			return ev.AssertAt(fac("X", rank), at)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	db := reopen(t, path)
+	buildMixedDB(t, db)
+	before := stateDigest(t, db)
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The log is now empty; the snapshot holds everything.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Errorf("log not truncated: %d bytes", fi.Size())
+	}
+	if _, err := os.Stat(path + ".snap"); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+	// State unchanged in the live database.
+	if got := stateDigest(t, db); !digestsEqual(before, got) {
+		t.Fatal("checkpoint changed live state")
+	}
+	db.Close()
+
+	db2 := reopen(t, path)
+	if got := stateDigest(t, db2); !digestsEqual(before, got) {
+		t.Fatalf("state after snapshot recovery differs:\nbefore %v\nafter  %v", before, got)
+	}
+	// Rollback still reaches pre-checkpoint history: as of 12/10/82 the
+	// belief was "a until 12/01/82, then b".
+	rel, _ := db2.Relation("r_temporal")
+	vs, err := rel.VisibleVersions(d821210, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("as of 12/10/82 after checkpoint recovery: %v", vs)
+	}
+	current := ""
+	for _, v := range vs {
+		if v.Valid.Contains(d821210) {
+			current = v.Data[1].Str()
+		}
+	}
+	if current != "b" {
+		t.Fatalf("belief at 12/10/82 = %q, want b (%v)", current, vs)
+	}
+}
+
+func TestCheckpointThenMoreWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	db := reopen(t, path)
+	buildMixedDB(t, db)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint writes land in the fresh log.
+	rel, _ := db.Relation("r_temporal")
+	if err := db.UpdateAt(d840225, func(tx *Tx) error {
+		h, _ := tx.Rel("r_temporal")
+		return h.Assert(fac("Y", "new"), d840301, temporal.Forever)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rel
+	before := stateDigest(t, db)
+	db.Close()
+
+	db2 := reopen(t, path)
+	if got := stateDigest(t, db2); !digestsEqual(before, got) {
+		t.Fatalf("snapshot+suffix recovery differs:\nbefore %v\nafter  %v", before, got)
+	}
+}
+
+func TestCheckpointRepeatedly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	db := reopen(t, path)
+	buildMixedDB(t, db)
+	for i := 0; i < 3; i++ {
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+		at := temporal.Date(1990+i, 1, 1)
+		if err := db.UpdateAt(at, func(tx *Tx) error {
+			h, _ := tx.Rel("r_historical")
+			return h.Assert(fac("Z", string(rune('a'+i))), at, temporal.Forever)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := stateDigest(t, db)
+	db.Close()
+	db2 := reopen(t, path)
+	if got := stateDigest(t, db2); !digestsEqual(before, got) {
+		t.Fatal("repeated checkpoint recovery differs")
+	}
+}
+
+// Crash window: snapshot written, log NOT truncated (the pre-normalization
+// snapshot still counts the covered prefix). Recovery must not double-apply.
+func TestCheckpointCrashBeforeTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	db := reopen(t, path)
+	buildMixedDB(t, db)
+	before := stateDigest(t, db)
+
+	// Simulate the crash by writing the snapshot exactly as Checkpoint
+	// does, then *not* truncating.
+	snap := wal.Snapshot{LastCommit: db.mgr.Clock().Last(), Records: db.walRecords}
+	for _, name := range db.cat.Names() {
+		rel, _ := db.cat.Get(name)
+		rs := wal.RelationSnapshot{Name: name, Kind: rel.Kind(), Event: rel.Event(), Schema: rel.Schema()}
+		rel.Store().Versions(func(v Version) bool {
+			rs.Versions = append(rs.Versions, v)
+			return true
+		})
+		snap.Relations = append(snap.Relations, rs)
+	}
+	if err := wal.WriteSnapshot(path+".snap", snap); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2 := reopen(t, path)
+	if got := stateDigest(t, db2); !digestsEqual(before, got) {
+		t.Fatalf("recovery double-applied the covered prefix:\nbefore %v\nafter  %v", before, got)
+	}
+	// And it keeps working: more writes, another reopen.
+	if err := db2.UpdateAt(temporal.Date(1995, 1, 1), func(tx *Tx) error {
+		h, _ := tx.Rel("r_historical")
+		return h.Assert(fac("W", "w"), temporal.Date(1995, 1, 1), temporal.Forever)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before2 := stateDigest(t, db2)
+	db2.Close()
+	db3 := reopen(t, path)
+	if got := stateDigest(t, db3); !digestsEqual(before2, got) {
+		t.Fatal("post-crash-recovery writes lost")
+	}
+}
+
+// Crash window: log truncated but snapshot still says Records=N (crash
+// between truncate and normalization). Recovery must skip nothing, then
+// post-recovery writes must survive another reopen (the stale Records
+// field is normalized away).
+func TestCheckpointCrashAfterTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	db := reopen(t, path)
+	buildMixedDB(t, db)
+	before := stateDigest(t, db)
+	records := db.walRecords
+
+	snap := wal.Snapshot{LastCommit: db.mgr.Clock().Last(), Records: records}
+	for _, name := range db.cat.Names() {
+		rel, _ := db.cat.Get(name)
+		rs := wal.RelationSnapshot{Name: name, Kind: rel.Kind(), Event: rel.Event(), Schema: rel.Schema()}
+		rel.Store().Versions(func(v Version) bool {
+			rs.Versions = append(rs.Versions, v)
+			return true
+		})
+		snap.Relations = append(snap.Relations, rs)
+	}
+	if err := wal.WriteSnapshot(path+".snap", snap); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	// Truncate the log "by hand" (the crash happened before normalization).
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := reopen(t, path)
+	if got := stateDigest(t, db2); !digestsEqual(before, got) {
+		t.Fatal("recovery after truncate-crash differs")
+	}
+	// Fewer than Records new writes, then reopen: they must NOT be skipped.
+	if err := db2.UpdateAt(temporal.Date(1995, 1, 1), func(tx *Tx) error {
+		h, _ := tx.Rel("r_historical")
+		return h.Assert(fac("V", "v"), temporal.Date(1995, 1, 1), temporal.Forever)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before2 := stateDigest(t, db2)
+	db2.Close()
+	db3 := reopen(t, path)
+	if got := stateDigest(t, db3); !digestsEqual(before2, got) {
+		t.Fatal("write after truncate-crash was skipped on recovery")
+	}
+}
+
+func TestCheckpointInMemoryFails(t *testing.T) {
+	db := memDB(t)
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("in-memory checkpoint must fail")
+	}
+}
+
+func TestCorruptSnapshotSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	db := reopen(t, path)
+	buildMixedDB(t, db)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	data, err := os.ReadFile(path + ".snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path+".snap", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, wal.ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+}

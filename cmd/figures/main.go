@@ -1,0 +1,79 @@
+// Command figures regenerates the figures of Snodgrass & Ahn, "A Taxonomy
+// of Time in Databases" (SIGMOD 1985), from the running system.
+//
+// Usage:
+//
+//	figures            # print every figure
+//	figures -fig 8     # print one figure (1-13)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdb"
+	"tdb/internal/figures"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to print (0 = all)")
+	flag.Parse()
+
+	if *fig == 0 {
+		out, err := figures.All()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	var db *tdb.DB
+	needDB := *fig >= 2 && *fig <= 9
+	if needDB {
+		var err error
+		db, err = figures.PaperDB()
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+	}
+	var out string
+	var err error
+	switch *fig {
+	case 1:
+		out = figures.Figure1()
+	case 2:
+		out, err = figures.Figure2(db)
+	case 3:
+		out, err = figures.Figure3(db)
+	case 4:
+		out, err = figures.Figure4(db)
+	case 5:
+		out, err = figures.Figure5(db)
+	case 6:
+		out, err = figures.Figure6(db)
+	case 7:
+		out, err = figures.Figure7(db)
+	case 8:
+		out, err = figures.Figure8(db)
+	case 9:
+		out, err = figures.Figure9(db)
+	case 10, 11, 12:
+		out, err = figures.Figures10to12()
+	case 13:
+		out = figures.Figure13()
+	default:
+		fatal(fmt.Errorf("no figure %d in the paper (1-13)", *fig))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command tdbcli is the interactive client for tdbd: it reads TQuel
+// statements (terminated by ';') and prints the server's responses.
+//
+// Usage:
+//
+//	tdbcli -addr 127.0.0.1:4791
+//	echo 'retrieve (f.rank);' | tdbcli -addr ...
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tdb/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4791", "tdbd address")
+	flag.Parse()
+
+	c, err := server.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdbcli:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	interactive := false
+	if stat, _ := os.Stdin.Stat(); stat != nil && stat.Mode()&os.ModeCharDevice != 0 {
+		interactive = true
+		fmt.Printf("connected to %s — statements end with ';' (ctrl-D to quit)\n", *addr)
+		fmt.Print("tquel> ")
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			if interactive {
+				fmt.Print("    -> ")
+			}
+			continue
+		}
+		src := strings.ReplaceAll(buf.String(), ";", " ")
+		buf.Reset()
+		if strings.TrimSpace(src) != "" {
+			resp, err := c.Exec(src)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tdbcli:", err)
+				os.Exit(1)
+			}
+			for _, o := range resp.Outcomes {
+				if o.Table != "" {
+					fmt.Print(o.Table)
+				} else if o.Msg != "" {
+					fmt.Println(o.Msg)
+				}
+			}
+			if resp.Error != "" {
+				fmt.Fprintln(os.Stderr, resp.Error)
+			}
+		}
+		if interactive {
+			fmt.Print("tquel> ")
+		}
+	}
+	if interactive {
+		fmt.Println()
+	}
+}

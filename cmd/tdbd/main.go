@@ -1,0 +1,54 @@
+// Command tdbd serves a temporal database over TCP using the tdb line
+// protocol (see package tdb/server). Clients speak TQuel; each connection
+// is its own session.
+//
+// Usage:
+//
+//	tdbd -addr :4791 -db /var/lib/tdb/data.wal
+//
+// SIGINT/SIGTERM shut the server down gracefully, draining connections and
+// syncing the write-ahead log.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tdb"
+	"tdb/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:4791", "listen address")
+		dbPath = flag.String("db", "", "write-ahead log path (empty = in-memory)")
+		sync   = flag.Bool("sync", false, "fsync the log after every transaction")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "tdbd: ", log.LstdFlags)
+
+	db, err := tdb.Open(*dbPath, tdb.Options{Sync: *sync})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv := server.New(db, logger)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		logger.Print("shutting down")
+		srv.Close()
+	}()
+
+	logger.Printf("listening on %s (db=%q sync=%v)", *addr, *dbPath, *sync)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		logger.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		logger.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Command tquel runs TQuel statements against a temporal database, either
+// as a script processor or as an interactive session.
+//
+// Usage:
+//
+//	tquel -e 'statements'             # execute and exit (in-memory db)
+//	tquel -f script.tq                # run a script file
+//	tquel -db path.wal                # persist to a write-ahead log
+//	tquel                             # interactive: statements end with ';'
+//
+// Example session:
+//
+//	tquel> create temporal relation faculty (name = string, rank = string) key (name);
+//	tquel> range of f is faculty;
+//	tquel> append to faculty (name = "Merrie", rank = "associate") valid from "09/01/77" to forever;
+//	tquel> retrieve (f.rank) where f.name = "Merrie";
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tdb"
+	"tdb/tquel"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "", "write-ahead log path (empty = in-memory)")
+		expr   = flag.String("e", "", "statements to execute")
+		file   = flag.String("f", "", "script file to execute")
+		sync   = flag.Bool("sync", false, "fsync the log after every transaction")
+	)
+	flag.Parse()
+
+	db, err := tdb.Open(*dbPath, tdb.Options{Sync: *sync})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	ses := tquel.NewSession(db)
+
+	switch {
+	case *expr != "":
+		run(ses, *expr)
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		run(ses, string(src))
+	default:
+		if stat, _ := os.Stdin.Stat(); stat != nil && stat.Mode()&os.ModeCharDevice == 0 {
+			// Piped input: treat as a script.
+			var b strings.Builder
+			sc := bufio.NewScanner(os.Stdin)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				b.WriteString(sc.Text())
+				b.WriteByte('\n')
+			}
+			run(ses, b.String())
+			return
+		}
+		interactive(ses)
+	}
+}
+
+// run executes statements, printing each outcome; a failing statement stops
+// execution with a nonzero exit.
+func run(ses *tquel.Session, src string) {
+	outs, err := ses.Exec(stripSemicolons(src))
+	for _, o := range outs {
+		fmt.Println(o)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// interactive reads statements terminated by ';' and executes them,
+// continuing past errors.
+func interactive(ses *tquel.Session) {
+	fmt.Println("tdb TQuel session — statements end with ';' (ctrl-D to quit)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("tquel> ")
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			src := stripSemicolons(buf.String())
+			buf.Reset()
+			if strings.TrimSpace(src) != "" {
+				outs, err := ses.Exec(src)
+				for _, o := range outs {
+					fmt.Println(o)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}
+			fmt.Print("tquel> ")
+		} else {
+			fmt.Print("    -> ")
+		}
+	}
+	fmt.Println()
+}
+
+// stripSemicolons removes statement terminators (TQuel itself has none;
+// they are an interactive convenience). Semicolons inside string literals
+// are preserved.
+func stripSemicolons(src string) string {
+	var b strings.Builder
+	inString := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == '"' && (i == 0 || src[i-1] != '\\'):
+			inString = !inString
+			b.WriteByte(c)
+		case c == ';' && !inString:
+			b.WriteByte(' ')
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tquel:", err)
+	os.Exit(1)
+}

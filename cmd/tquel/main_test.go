@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestStripSemicolons(t *testing.T) {
+	cases := map[string]string{
+		`retrieve (f.x);`:              `retrieve (f.x) `,
+		`a; b; c`:                      `a  b  c`,
+		`where f.name = "a;b";`:        `where f.name = "a;b" `,
+		`where f.name = "a\";b"; done`: `where f.name = "a\";b"  done`,
+		``:                             ``,
+		`no terminators at all`:        `no terminators at all`,
+		"multi\nline;\nstatement":      "multi\nline \nstatement",
+	}
+	for in, want := range cases {
+		if got := stripSemicolons(in); got != want {
+			t.Errorf("stripSemicolons(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

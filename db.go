@@ -1,0 +1,473 @@
+package tdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tdb/internal/catalog"
+	"tdb/internal/core"
+	"tdb/internal/txn"
+	"tdb/internal/wal"
+	"tdb/temporal"
+)
+
+// Errors surfaced by the facade (store-level errors pass through: see
+// ErrDuplicateKey and friends).
+var (
+	// ErrClosed reports use of a closed database.
+	ErrClosed = errors.New("tdb: database closed")
+	// ErrNotFound reports a reference to an unknown relation.
+	ErrNotFound = catalog.ErrNotFound
+	// ErrExists reports creating a relation whose name is taken.
+	ErrExists = catalog.ErrExists
+	// ErrKindMismatch reports using a relation through operations its kind
+	// does not support — the taxonomy's boundaries, enforced.
+	ErrKindMismatch = catalog.ErrKindMismatch
+	// ErrDuplicateKey re-exports the store-level duplicate key error.
+	ErrDuplicateKey = core.ErrDuplicateKey
+	// ErrNoSuchTuple re-exports the store-level missing tuple error.
+	ErrNoSuchTuple = core.ErrNoSuchTuple
+	// ErrEmptyValidPeriod re-exports the store-level empty period error.
+	ErrEmptyValidPeriod = core.ErrEmptyValidPeriod
+	// ErrNoRollback reports an as-of query on a kind without transaction
+	// time.
+	ErrNoRollback = errors.New("tdb: relation kind does not support rollback (as of)")
+	// ErrNoValidTime reports a valid-time query on a kind without it.
+	ErrNoValidTime = errors.New("tdb: relation kind does not support historical queries")
+)
+
+// Options configure Open.
+type Options struct {
+	// Clock supplies commit timestamps; nil means the system clock.
+	// Figure reproduction and tests use temporal.LogicalClock.
+	Clock temporal.Clock
+	// Sync forces an fsync per committed transaction when a WAL is in use.
+	Sync bool
+}
+
+// DB is a temporal database: a catalog of relations plus the transaction
+// and durability machinery. All methods are safe for concurrent use.
+type DB struct {
+	mu         sync.RWMutex
+	cat        *catalog.Catalog
+	mgr        *txn.Manager
+	log        *wal.Log
+	path       string
+	snapPath   string
+	walRecords int // records in the current log file
+	closed     bool
+	replay     bool // suppress WAL writes during recovery
+}
+
+// Open creates or reopens a database. An empty path yields a purely
+// in-memory database; otherwise path names a write-ahead log file.
+// Recovery loads the checkpoint snapshot (path + ".snap") if one exists,
+// then replays the log's uncovered suffix, repairing torn tails.
+func Open(path string, opts Options) (*DB, error) {
+	db := &DB{
+		cat:      catalog.New(),
+		mgr:      txn.NewManager(txn.NewCommitClock(opts.Clock)),
+		path:     path,
+		snapPath: path + ".snap",
+	}
+	if path == "" {
+		return db, nil
+	}
+	if err := db.recover(); err != nil {
+		return nil, fmt.Errorf("tdb: recovery: %w", err)
+	}
+	log, err := wal.Open(path, wal.Options{Sync: opts.Sync})
+	if err != nil {
+		return nil, err
+	}
+	db.log = log
+	return db, nil
+}
+
+// recover rebuilds the in-memory state: checkpoint snapshot first, then the
+// log records the snapshot does not cover. A crash between "snapshot
+// written" and "log truncated" leaves a snapshot whose Records field counts
+// the covered prefix; recovery skips exactly that prefix when the log still
+// holds it, and normalizes the snapshot afterwards so the accounting stays
+// exact across repeated crashes.
+func (db *DB) recover() error {
+	db.replay = true
+	defer func() { db.replay = false }()
+
+	snap, haveSnap, err := wal.ReadSnapshot(db.snapPath)
+	if err != nil {
+		return err
+	}
+	if haveSnap {
+		if err := db.restoreSnapshot(snap); err != nil {
+			return err
+		}
+	}
+	// First pass: count complete records (and repair torn tails).
+	total := 0
+	if _, err := wal.Replay(db.path, true, func(wal.Record) error {
+		total++
+		return nil
+	}); err != nil {
+		return err
+	}
+	skip := 0
+	if haveSnap && total >= snap.Records {
+		skip = snap.Records
+	}
+	idx := 0
+	if _, err := wal.Replay(db.path, false, func(rec wal.Record) error {
+		idx++
+		if idx <= skip {
+			return nil
+		}
+		return db.applyRecord(rec)
+	}); err != nil {
+		return err
+	}
+	db.walRecords = total
+	if haveSnap && skip != snap.Records {
+		// The covered prefix is gone (log was truncated after the snapshot
+		// was written): rewrite the snapshot so Records matches the log.
+		snap.Records = 0
+		if err := wal.WriteSnapshot(db.snapPath, snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreSnapshot loads a checkpoint into the empty database.
+func (db *DB) restoreSnapshot(snap wal.Snapshot) error {
+	for _, rs := range snap.Relations {
+		rel, err := db.cat.Create(rs.Name, rs.Kind, rs.Event, rs.Schema)
+		if err != nil {
+			return err
+		}
+		for _, v := range rs.Versions {
+			switch rs.Kind {
+			case Static:
+				st, _ := rel.Static()
+				err = st.Insert(v.Data)
+			case StaticRollback:
+				st, _ := rel.Rollback()
+				err = st.RestoreVersion(v)
+			case Historical:
+				st, _ := rel.Historical()
+				if rs.Event {
+					err = st.AssertAt(v.Data, v.Valid.From)
+				} else {
+					err = st.Assert(v.Data, v.Valid)
+				}
+			case Temporal:
+				st, _ := rel.Temporal()
+				err = st.RestoreVersion(v)
+			}
+			if err != nil {
+				return fmt.Errorf("restoring %q: %w", rs.Name, err)
+			}
+		}
+	}
+	return db.mgr.Clock().Observe(snap.LastCommit)
+}
+
+// Checkpoint writes a snapshot of the whole database and truncates the
+// write-ahead log, bounding recovery time. It fails on in-memory
+// databases. The snapshot preserves every stored version, including
+// superseded ones — checkpointing never forgets history.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.log == nil {
+		return errors.New("tdb: checkpoint needs a log-backed database")
+	}
+	snap := wal.Snapshot{
+		LastCommit: db.mgr.Clock().Last(),
+		Records:    db.walRecords,
+	}
+	for _, name := range db.cat.Names() {
+		rel, err := db.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		rs := wal.RelationSnapshot{
+			Name:   name,
+			Kind:   rel.Kind(),
+			Event:  rel.Event(),
+			Schema: rel.Schema(),
+		}
+		rel.Store().Versions(func(v Version) bool {
+			rs.Versions = append(rs.Versions, v)
+			return true
+		})
+		snap.Relations = append(snap.Relations, rs)
+	}
+	if err := wal.WriteSnapshot(db.snapPath, snap); err != nil {
+		return err
+	}
+	if err := db.log.Truncate(); err != nil {
+		return err
+	}
+	db.walRecords = 0
+	// Normalize immediately: the truncated log has no covered prefix.
+	snap.Records = 0
+	return wal.WriteSnapshot(db.snapPath, snap)
+}
+
+// Close releases the database; further use returns ErrClosed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.log != nil {
+		return db.log.Close()
+	}
+	return nil
+}
+
+// CreateRelation adds an interval relation of the given kind.
+func (db *DB) CreateRelation(name string, kind Kind, sch *Schema) (*Relation, error) {
+	return db.create(name, kind, false, sch)
+}
+
+// CreateEventRelation adds an event relation (a single valid-time instant
+// per tuple, like the paper's 'promotion' relation). Only historical and
+// temporal kinds can carry events.
+func (db *DB) CreateEventRelation(name string, kind Kind, sch *Schema) (*Relation, error) {
+	return db.create(name, kind, true, sch)
+}
+
+func (db *DB) create(name string, kind Kind, event bool, sch *Schema) (*Relation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	rel, err := db.cat.Create(name, kind, event, sch)
+	if err != nil {
+		return nil, err
+	}
+	// Catalog changes are logged at the last issued commit chronon rather
+	// than consuming a new one, so that dated history (UpdateAt) can still
+	// be loaded after creating relations.
+	if err := db.logRecord(wal.Record{
+		Commit: db.mgr.Clock().Last(),
+		Ops: []wal.Op{{
+			Code: wal.OpCreate, Rel: name, Kind: kind, Event: event, Schema: sch,
+		}},
+	}); err != nil {
+		_ = db.cat.Drop(name)
+		return nil, err
+	}
+	return &Relation{db: db, rel: rel}, nil
+}
+
+// DropRelation destroys a relation (schema-level destroy: the append-only
+// discipline governs tuples within rollback/temporal relations, not the
+// catalog).
+func (db *DB) DropRelation(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.cat.Drop(name); err != nil {
+		return err
+	}
+	return db.logRecord(wal.Record{
+		Commit: db.mgr.Clock().Last(),
+		Ops:    []wal.Op{{Code: wal.OpDrop, Rel: name}},
+	})
+}
+
+// Relation returns a handle to the named relation.
+func (db *DB) Relation(name string) (*Relation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	rel, err := db.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{db: db, rel: rel}, nil
+}
+
+// Relations returns the sorted names of all relations.
+func (db *DB) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cat.Names()
+}
+
+// Now returns the chronon the database's clock would assign next; useful
+// as the "current instant" for snapshot queries.
+func (db *DB) Now() temporal.Chronon {
+	last := db.mgr.Clock().Last()
+	if last == temporal.Beginning {
+		return 0
+	}
+	return last
+}
+
+// Stats summarizes the database for monitoring and tests.
+type Stats struct {
+	// Relations is the number of relations in the catalog.
+	Relations int
+	// Versions is the total number of stored versions across relations,
+	// including superseded ones.
+	Versions int
+	// CurrentVersions counts only versions that are part of present belief.
+	CurrentVersions int
+	// WALRecords is the number of transaction records in the current log
+	// file (0 for in-memory databases and right after a checkpoint).
+	WALRecords int
+	// LastCommit is the latest commit chronon issued.
+	LastCommit temporal.Chronon
+}
+
+// Stats returns a snapshot of database-wide counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Stats{
+		Relations:  db.cat.Len(),
+		WALRecords: db.walRecords,
+		LastCommit: db.mgr.Clock().Last(),
+	}
+	for _, name := range db.cat.Names() {
+		rel, err := db.cat.Get(name)
+		if err != nil {
+			continue
+		}
+		rel.Store().Versions(func(v Version) bool {
+			s.Versions++
+			if v.Current() {
+				s.CurrentVersions++
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// Update runs fn in a serialized transaction stamped with the next commit
+// chronon. All mutations performed through the Tx commit atomically; an
+// error (or panic) rolls every enlisted relation back and nothing is
+// logged.
+func (db *DB) Update(fn func(tx *Tx) error) error {
+	return db.update(nil, fn)
+}
+
+// UpdateAt is Update with an explicit commit chronon, for loading dated
+// history (the figure harness replays the paper's transactions this way).
+// The chronon must not precede any previously committed one.
+func (db *DB) UpdateAt(at temporal.Chronon, fn func(tx *Tx) error) error {
+	return db.update(&at, fn)
+}
+
+func (db *DB) update(at *temporal.Chronon, fn func(tx *Tx) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	var rec *wal.Record
+	wrap := func(itx *txn.Tx) error {
+		tx := &Tx{db: db, itx: itx}
+		if err := fn(tx); err != nil {
+			return err
+		}
+		if len(tx.ops) > 0 {
+			rec = &wal.Record{Commit: itx.At(), Ops: tx.ops}
+		}
+		return nil
+	}
+	var err error
+	if at != nil {
+		err = db.mgr.UpdateAt(*at, wrap)
+	} else {
+		err = db.mgr.Update(wrap)
+	}
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		if err := db.logRecord(*rec); err != nil {
+			// The in-memory commit succeeded but durability failed; surface
+			// loudly. (A production system would block further commits.)
+			return fmt.Errorf("tdb: committed but not logged: %w", err)
+		}
+	}
+	return nil
+}
+
+func (db *DB) logRecord(rec wal.Record) error {
+	if db.log == nil || db.replay {
+		return nil
+	}
+	if err := db.log.Append(rec); err != nil {
+		return err
+	}
+	db.walRecords++
+	return nil
+}
+
+// applyRecord replays one WAL record during recovery.
+func (db *DB) applyRecord(rec wal.Record) error {
+	for _, op := range rec.Ops {
+		if err := db.applyOp(rec.Commit, op); err != nil {
+			return fmt.Errorf("replaying %s on %q: %w", op.Code, op.Rel, err)
+		}
+	}
+	return nil
+}
+
+func (db *DB) applyOp(commit temporal.Chronon, op wal.Op) error {
+	switch op.Code {
+	case wal.OpCreate:
+		_, err := db.cat.Create(op.Rel, op.Kind, op.Event, op.Schema)
+		if err == nil {
+			err = db.mgr.Clock().Observe(commit)
+		}
+		return err
+	case wal.OpDrop:
+		if err := db.cat.Drop(op.Rel); err != nil {
+			return err
+		}
+		return db.mgr.Clock().Observe(commit)
+	}
+	rel, err := db.cat.Get(op.Rel)
+	if err != nil {
+		return err
+	}
+	return db.mgr.UpdateAt(commit, func(itx *txn.Tx) error {
+		tr := &TxRel{tx: &Tx{db: db, itx: itx}, rel: rel}
+		switch op.Code {
+		case wal.OpInsert:
+			return tr.Insert(op.Tuple)
+		case wal.OpDelete:
+			return tr.Delete(op.Key)
+		case wal.OpReplace:
+			return tr.Replace(op.Key, op.Tuple)
+		case wal.OpAssert:
+			return tr.Assert(op.Tuple, op.Valid.From, op.Valid.To)
+		case wal.OpRetract:
+			return tr.Retract(op.Key, op.Valid.From, op.Valid.To)
+		case wal.OpAssertAt:
+			return tr.AssertAt(op.Tuple, op.At)
+		case wal.OpRetractAt:
+			return tr.RetractAt(op.Key, op.At)
+		default:
+			return fmt.Errorf("tdb: unknown op %v in log", op.Code)
+		}
+	})
+}

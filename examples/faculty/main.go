@@ -1,0 +1,80 @@
+// Faculty: the paper's running example, end to end, through TQuel. The
+// program replays the dated transactions behind Figure 8 and then asks the
+// paper's four kinds of question — static, rollback, historical, and
+// temporal — showing how the answers differ.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdb"
+	"tdb/temporal"
+	"tdb/tquel"
+)
+
+func main() {
+	clock := temporal.NewLogicalClock(0)
+	db, err := tdb.Open("", tdb.Options{Clock: clock})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	ses := tquel.NewSession(db)
+
+	must := func(src string) {
+		if _, err := ses.Exec(src); err != nil {
+			log.Fatalf("%v\nin: %s", err, src)
+		}
+	}
+	at := func(date, src string) {
+		clock.Set(temporal.MustParse(date))
+		must(src)
+	}
+
+	must(`create temporal relation faculty (name = string, rank = string) key (name)
+	      range of f is faculty`)
+
+	// The history of Figure 8, entered on the paper's dates.
+	at("08/25/77", `append to faculty (name = "Merrie", rank = "associate") valid from "09/01/77" to forever`)
+	at("12/01/82", `append to faculty (name = "Tom", rank = "full") valid from "12/05/82" to forever`)
+	at("12/07/82", `replace f (rank = "associate") where f.name = "Tom" valid from "12/05/82" to forever`)
+	at("12/15/82", `replace f (rank = "full") where f.name = "Merrie" valid from "12/01/82" to forever`)
+	at("01/10/83", `append to faculty (name = "Mike", rank = "assistant") valid from "01/01/83" to forever`)
+	at("02/25/84", `delete f where f.name = "Mike" valid from "03/01/84" to forever`)
+
+	show := func(title, q string) {
+		res, err := ses.Query(q)
+		if err != nil {
+			log.Fatalf("%v\nin: %s", err, q)
+		}
+		fmt.Printf("%s\n  %s\n%s\n", title, q, res)
+	}
+
+	// Static-style question: current rank.
+	show("Current belief about Merrie:",
+		`retrieve (f.rank) where f.name = "Merrie" when f overlap "now"`)
+
+	// Historical question: what held in reality at a past instant?
+	show("Merrie's rank valid on 12/10/82 (historical query):",
+		`retrieve (f.rank) where f.name = "Merrie" when f overlap "12/10/82"`)
+
+	// Rollback question: what did the database say back then?
+	show("What the database said about Merrie as of 12/10/82 (rollback):",
+		`retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"`)
+
+	// The fully temporal question of §4.4.
+	show("Merrie's rank when Tom arrived, as of 12/10/82 (temporal):",
+		`range of f1 is faculty
+		 range of f2 is faculty
+		 retrieve (f1.rank)
+		 where f1.name = "Merrie" and f2.name = "Tom"
+		 when f1 overlap start of f2
+		 as of "12/10/82"`)
+
+	show("...and as of 12/20/82, after the promotion was recorded:",
+		`retrieve (f1.rank)
+		 where f1.name = "Merrie" and f2.name = "Tom"
+		 when f1 overlap start of f2
+		 as of "12/20/82"`)
+}

@@ -1,0 +1,82 @@
+// Quickstart: create a bitemporal relation, record some history, correct
+// it retroactively, and see how "as of" recovers what the database used to
+// believe — the paper's central capability in thirty lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdb"
+	"tdb/temporal"
+)
+
+func main() {
+	// An in-memory database; pass a path to persist via a write-ahead log.
+	db, err := tdb.Open("", tdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A temporal (bitemporal) relation: it records both when facts were
+	// true (valid time) and when the database learned them (transaction
+	// time).
+	sch, err := tdb.NewSchema(
+		tdb.Attr("name", tdb.StringKind),
+		tdb.Attr("rank", tdb.StringKind),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sch, err = sch.WithKey("name"); err != nil {
+		log.Fatal(err)
+	}
+	faculty, err := db.CreateRelation("faculty", tdb.Temporal, sch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jan := temporal.Date(2025, 1, 1)
+	jun := temporal.Date(2025, 6, 1)
+
+	// Merrie has been an associate professor since January.
+	if err := faculty.Assert(
+		tdb.NewTuple(tdb.String("Merrie"), tdb.String("associate")),
+		jan, temporal.Forever,
+	); err != nil {
+		log.Fatal(err)
+	}
+	beforePromotion := db.Now()
+
+	// Later we learn she was actually promoted in June — a retroactive
+	// correction: the old belief is superseded, not destroyed.
+	if err := faculty.Assert(
+		tdb.NewTuple(tdb.String("Merrie"), tdb.String("full")),
+		jun, temporal.Forever,
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// Current belief: what was her rank in March?
+	res, err := faculty.Query().At(temporal.Date(2025, 3, 1)).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rank valid in March (current belief):")
+	fmt.Println(res)
+
+	// Rollback: what did the database believe before the correction?
+	res, err = faculty.Query().AsOf(beforePromotion).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the database's belief before the promotion was recorded:")
+	fmt.Println(res)
+
+	// Every version ever stored remains accountable.
+	fmt.Println("all stored versions (nothing is ever lost):")
+	for _, v := range faculty.Versions() {
+		fmt.Printf("  %v\n", v)
+	}
+}

@@ -1,0 +1,340 @@
+package tdb_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tdb"
+	"tdb/internal/core"
+	"tdb/internal/dataset"
+	"tdb/temporal"
+)
+
+func schemaT(t testing.TB) *tdb.Schema {
+	t.Helper()
+	s, err := tdb.NewSchema(tdb.Attr("name", tdb.StringKind), tdb.Attr("rank", tdb.StringKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err = s.WithKey("name"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFourKindsSideBySide drives the same conceptual history into one
+// relation of each kind and verifies the paper's comparative semantics:
+// which questions each kind can answer, and what the answers are.
+func TestFourKindsSideBySide(t *testing.T) {
+	clock := temporal.NewLogicalClock(0)
+	db, err := tdb.Open("", tdb.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	sch := schemaT(t)
+	for _, k := range []tdb.Kind{tdb.Static, tdb.StaticRollback, tdb.Historical, tdb.Temporal} {
+		if _, err := db.CreateRelation(k.String(), k, sch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// History: A=x recorded at t100 valid from 50; corrected to A=y at
+	// t200 valid from 80.
+	apply := func(at temporal.Chronon, rank string, validFrom temporal.Chronon) {
+		t.Helper()
+		if err := db.UpdateAt(at, func(tx *tdb.Tx) error {
+			for _, k := range []tdb.Kind{tdb.Static, tdb.StaticRollback} {
+				h, err := tx.Rel(k.String())
+				if err != nil {
+					return err
+				}
+				tup := tdb.NewTuple(tdb.String("A"), tdb.String(rank))
+				if err := h.Insert(tup); errors.Is(err, tdb.ErrDuplicateKey) {
+					err = h.Replace(tdb.Key(tdb.String("A")), tup)
+				} else if err != nil {
+					return err
+				}
+			}
+			for _, k := range []tdb.Kind{tdb.Historical, tdb.Temporal} {
+				h, err := tx.Rel(k.String())
+				if err != nil {
+					return err
+				}
+				if err := h.Assert(tdb.NewTuple(tdb.String("A"), tdb.String(rank)),
+					validFrom, temporal.Forever); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply(100, "x", 50)
+	apply(200, "y", 80)
+
+	rank := func(res *tdb.Result) string {
+		t.Helper()
+		if res.Len() != 1 {
+			t.Fatalf("expected one row, got %s", res)
+		}
+		return res.Tuples()[0][1].Str()
+	}
+	get := func(kind tdb.Kind) *tdb.Relation {
+		t.Helper()
+		r, err := db.Relation(kind.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// Everyone agrees on the current answer.
+	for _, k := range []tdb.Kind{tdb.Static, tdb.StaticRollback} {
+		got, ok, err := get(k).Get(tdb.Key(tdb.String("A")))
+		if err != nil || !ok || got[1].Str() != "y" {
+			t.Errorf("%v current = %v %v %v", k, got, ok, err)
+		}
+	}
+	for _, k := range []tdb.Kind{tdb.Historical, tdb.Temporal} {
+		res, err := get(k).Query().At(90).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rank(res) != "y" {
+			t.Errorf("%v at 90 = %s", k, rank(res))
+		}
+	}
+
+	// Rollback kinds remember the superseded database state.
+	for _, k := range []tdb.Kind{tdb.StaticRollback, tdb.Temporal} {
+		res, err := get(k).Query().AsOf(150).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rank(res) != "x" {
+			t.Errorf("%v as of 150 = %s", k, rank(res))
+		}
+	}
+
+	// Valid-time kinds answer about reality at instant 60: x (the later
+	// correction started at 80, so [50,80) still says x).
+	for _, k := range []tdb.Kind{tdb.Historical, tdb.Temporal} {
+		res, err := get(k).Query().At(60).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rank(res) != "x" {
+			t.Errorf("%v at 60 = %s", k, rank(res))
+		}
+	}
+
+	// The temporal relation alone answers the combined question: what did
+	// we believe at as-of 150 about reality at instant 90? Answer: x (the
+	// correction wasn't known yet).
+	res, err := get(tdb.Temporal).Query().AsOf(150).At(90).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank(res) != "x" {
+		t.Errorf("temporal (90 as of 150) = %s", rank(res))
+	}
+
+	// Kind boundaries (Figure 10's empty cells).
+	if _, err := get(tdb.Static).Query().AsOf(150).Run(); !errors.Is(err, tdb.ErrNoRollback) {
+		t.Errorf("static as-of: %v", err)
+	}
+	if _, err := get(tdb.Historical).Query().AsOf(150).Run(); !errors.Is(err, tdb.ErrNoRollback) {
+		t.Errorf("historical as-of: %v", err)
+	}
+	if _, err := get(tdb.StaticRollback).Query().At(60).Run(); !errors.Is(err, tdb.ErrNoValidTime) {
+		t.Errorf("rollback at: %v", err)
+	}
+	if _, err := get(tdb.Static).Query().At(60).Run(); !errors.Is(err, tdb.ErrNoValidTime) {
+		t.Errorf("static at: %v", err)
+	}
+}
+
+// TestConcurrentReadersAndWriters hammers one temporal relation with
+// parallel writers and readers; run with -race. Readers must always see a
+// consistent committed state.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db, err := tdb.Open("", tdb.Options{Clock: temporal.NewTickingClock(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.CreateRelation("r", tdb.Temporal, schemaT(t)); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.Relation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, readers, opsPerWriter = 4, 4, 100
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				name := fmt.Sprintf("w%d-e%d", w, i%10)
+				err := db.Update(func(tx *tdb.Tx) error {
+					h, err := tx.Rel("r")
+					if err != nil {
+						return err
+					}
+					return h.Assert(tdb.NewTuple(tdb.String(name), tdb.String("x")),
+						tx.At(), temporal.Forever)
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := rel.Query().Run()
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, tup := range res.Tuples() {
+					if len(tup) != 2 {
+						errs <- fmt.Errorf("torn tuple %v", tup)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Wait for writers, then stop readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	writersDone := make(chan struct{})
+	go func() {
+		// Writers finish when all their ops are in; readers loop until stop.
+		defer close(writersDone)
+		for {
+			res, err := rel.Query().Run()
+			if err != nil {
+				return
+			}
+			if res.Len() >= writers*10 {
+				return
+			}
+		}
+	}()
+	<-writersDone
+	close(stop)
+	<-done
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Each re-assertion of an existing entity closes the prior version and
+	// appends both a remainder and the new content: 10 first asserts per
+	// writer (+1 version each) and 90 re-asserts (+2 each).
+	want := writers * (10 + 2*(opsPerWriter-10))
+	if got := rel.VersionCount(); got != want {
+		t.Errorf("versions = %d, want %d", got, want)
+	}
+	current := 0
+	for _, v := range rel.Versions() {
+		if v.Current() {
+			current++
+		}
+	}
+	// Currently believed history per entity: one version per assertion
+	// (consecutive periods), so current versions equal total operations.
+	if current != writers*opsPerWriter {
+		t.Errorf("current versions = %d, want %d", current, writers*opsPerWriter)
+	}
+}
+
+// TestFacadeAgainstDirectStores: random operation streams through the
+// facade produce exactly the state the core store produces directly.
+func TestFacadeMatchesDataset(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.Entities, cfg.VersionsPerEntity = 25, 6
+	events := dataset.History(cfg)
+
+	db, err := tdb.Open("", tdb.Options{Clock: temporal.NewLogicalClock(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.CreateRelation("r", tdb.Temporal, schemaT(t)); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.Relation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		err := db.UpdateAt(e.Commit, func(tx *tdb.Tx) error {
+			h, err := tx.Rel("r")
+			if err != nil {
+				return err
+			}
+			if e.Assert {
+				return h.Assert(tdb.NewTuple(tdb.String(e.Name), tdb.String(e.Rank)),
+					e.Valid.From, e.Valid.To)
+			}
+			err = h.Retract(tdb.Key(tdb.String(e.Name)), e.Valid.From, e.Valid.To)
+			if errors.Is(err, tdb.ErrNoSuchTuple) {
+				return nil
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference: the same stream loaded directly into a core store.
+	ref := core.NewTemporalStore(dataset.Schema())
+	if err := dataset.LoadTemporal(ref, events); err != nil {
+		t.Fatal(err)
+	}
+	asSet := func(vs []tdb.Version) map[string]bool {
+		out := make(map[string]bool, len(vs))
+		for _, v := range vs {
+			out[v.String()] = true
+		}
+		return out
+	}
+	for _, at := range dataset.Commits(events) {
+		facadeVs, err := rel.VisibleVersions(at, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := asSet(facadeVs), asSet(ref.AsOf(at))
+		if len(a) != len(b) {
+			t.Fatalf("as of %v: facade %d rows, direct %d rows", at, len(a), len(b))
+		}
+		for k := range a {
+			if !b[k] {
+				t.Fatalf("as of %v: facade row %q missing from direct store", at, k)
+			}
+		}
+	}
+}

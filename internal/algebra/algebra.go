@@ -1,0 +1,268 @@
+// Package algebra implements a small relational algebra extended with the
+// temporal operators the paper's query examples need: rollback (timeslice
+// over transaction time), valid-time slicing and overlap filtering, a
+// temporal join whose derived valid period is the intersection of its
+// operands', and coalescing of value-equivalent rows. Derived relations are
+// materialized — query results in the paper are themselves relations that
+// "may be used in further queries", and materialization keeps that closure
+// property simple.
+package algebra
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tdb/internal/core"
+	"tdb/internal/schema"
+	"tdb/internal/tuple"
+	"tdb/temporal"
+)
+
+// ErrNoRollback reports an as-of request against a relation kind that does
+// not record transaction time (Figure 10's left column).
+var ErrNoRollback = errors.New("algebra: relation kind does not support rollback")
+
+// ErrSchemaMismatch reports a set operation over incompatible schemas.
+var ErrSchemaMismatch = errors.New("algebra: schemas are not union-compatible")
+
+// Row is one derived tuple with its valid period. Rows from relations
+// without valid time carry the universal interval.
+type Row struct {
+	Data  tuple.Tuple
+	Valid temporal.Interval
+}
+
+// Relation is a materialized derived relation.
+type Relation struct {
+	Schema *schema.Schema
+	Event  bool
+	Rows   []Row
+}
+
+// Scan materializes the versions of a store visible under the given
+// rollback setting. With hasAsOf false, the current belief is scanned; with
+// hasAsOf true, the state as of the given transaction time — an error for
+// kinds that keep no transaction time, making the taxonomy's capability
+// boundary an executable fact.
+func Scan(st core.Store, asOf temporal.Chronon, hasAsOf bool) (*Relation, error) {
+	rel := &Relation{Schema: st.Schema(), Event: st.Event()}
+	if hasAsOf && !st.Kind().SupportsRollback() {
+		return nil, fmt.Errorf("%w: %s", ErrNoRollback, st.Kind())
+	}
+	switch s := st.(type) {
+	case *core.RollbackStore:
+		if hasAsOf {
+			for _, t := range s.AsOf(asOf) {
+				rel.Rows = append(rel.Rows, Row{Data: t, Valid: temporal.All})
+			}
+		} else {
+			s.Scan(func(t tuple.Tuple) bool {
+				rel.Rows = append(rel.Rows, Row{Data: t, Valid: temporal.All})
+				return true
+			})
+		}
+	case *core.CopyRollbackStore:
+		if !hasAsOf {
+			asOf = temporal.Forever - 1
+		}
+		for _, t := range s.AsOf(asOf) {
+			rel.Rows = append(rel.Rows, Row{Data: t, Valid: temporal.All})
+		}
+	case *core.TemporalStore:
+		if !hasAsOf {
+			asOf = temporal.Forever - 1
+		}
+		for _, v := range s.AsOf(asOf) {
+			rel.Rows = append(rel.Rows, Row{Data: v.Data, Valid: v.Valid})
+		}
+	default:
+		// Static and historical: current belief only.
+		st.Versions(func(v core.Version) bool {
+			rel.Rows = append(rel.Rows, Row{Data: v.Data, Valid: v.Valid})
+			return true
+		})
+	}
+	return rel, nil
+}
+
+// Select returns the rows satisfying pred.
+func Select(r *Relation, pred func(Row) (bool, error)) (*Relation, error) {
+	out := &Relation{Schema: r.Schema, Event: r.Event}
+	for _, row := range r.Rows {
+		ok, err := pred(row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Project returns the relation restricted to the attributes at the given
+// positions, preserving valid periods and removing duplicate rows (set
+// semantics, as in Quel's retrieve).
+func Project(r *Relation, indices []int) (*Relation, error) {
+	sch, err := r.Schema.Project(indices)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Schema: sch, Event: r.Event}
+	seen := make(map[string]bool, len(r.Rows))
+	for _, row := range r.Rows {
+		nr := Row{Data: row.Data.Project(indices), Valid: row.Valid}
+		k := rowKey(nr)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// Product returns the temporal cartesian product: tuples concatenate and
+// the derived valid period is the intersection of the operands' periods
+// (TQuel's default valid clause for multi-variable queries). Pairs with
+// disjoint valid periods produce no row — two facts that never held
+// simultaneously cannot join.
+func Product(a, b *Relation, aPrefix, bPrefix string) (*Relation, error) {
+	sch, err := schema.Concat(a.Schema, b.Schema, aPrefix, bPrefix)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Schema: sch, Event: a.Event && b.Event}
+	for _, ra := range a.Rows {
+		for _, rb := range b.Rows {
+			v := ra.Valid.Intersect(rb.Valid)
+			if v.IsEmpty() && !ra.Valid.IsEmpty() && !rb.Valid.IsEmpty() {
+				continue
+			}
+			out.Rows = append(out.Rows, Row{Data: tuple.Concat(ra.Data, rb.Data), Valid: v})
+		}
+	}
+	return out, nil
+}
+
+// Union returns the set union of two union-compatible relations.
+func Union(a, b *Relation) (*Relation, error) {
+	if !a.Schema.Equal(b.Schema) {
+		return nil, ErrSchemaMismatch
+	}
+	out := &Relation{Schema: a.Schema, Event: a.Event && b.Event}
+	seen := map[string]bool{}
+	for _, rs := range [][]Row{a.Rows, b.Rows} {
+		for _, row := range rs {
+			k := rowKey(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Difference returns the rows of a absent from b.
+func Difference(a, b *Relation) (*Relation, error) {
+	if !a.Schema.Equal(b.Schema) {
+		return nil, ErrSchemaMismatch
+	}
+	drop := make(map[string]bool, len(b.Rows))
+	for _, row := range b.Rows {
+		drop[rowKey(row)] = true
+	}
+	out := &Relation{Schema: a.Schema, Event: a.Event}
+	for _, row := range a.Rows {
+		if !drop[rowKey(row)] {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// TimeSlice keeps the rows whose valid period contains t.
+func TimeSlice(r *Relation, t temporal.Chronon) *Relation {
+	out := &Relation{Schema: r.Schema, Event: r.Event}
+	for _, row := range r.Rows {
+		if row.Valid.Contains(t) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// When keeps the rows whose valid period overlaps q.
+func When(r *Relation, q temporal.Interval) *Relation {
+	out := &Relation{Schema: r.Schema, Event: r.Event}
+	for _, row := range r.Rows {
+		if row.Valid.Overlaps(q) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Coalesce merges value-equivalent rows whose valid periods overlap or
+// meet, producing the canonical minimal representation of an interval
+// relation. Event relations are returned unchanged (instants don't merge).
+func Coalesce(r *Relation) *Relation {
+	if r.Event {
+		out := &Relation{Schema: r.Schema, Event: true}
+		out.Rows = append(out.Rows, r.Rows...)
+		return out
+	}
+	groups := map[uint64][]int{}
+	order := []uint64{}
+	for i, row := range r.Rows {
+		h := row.Data.Hash64()
+		if _, ok := groups[h]; !ok {
+			order = append(order, h)
+		}
+		groups[h] = append(groups[h], i)
+	}
+	out := &Relation{Schema: r.Schema, Event: false}
+	for _, h := range order {
+		idxs := groups[h]
+		// Hash groups may contain distinct tuples on collision; split.
+		for len(idxs) > 0 {
+			head := r.Rows[idxs[0]]
+			var ivs []temporal.Interval
+			rest := idxs[:0]
+			for _, i := range idxs {
+				if tuple.Equal(r.Rows[i].Data, head.Data) {
+					ivs = append(ivs, r.Rows[i].Valid)
+				} else {
+					rest = append(rest, i)
+				}
+			}
+			for _, iv := range temporal.Coalesce(ivs) {
+				out.Rows = append(out.Rows, Row{Data: head.Data, Valid: iv})
+			}
+			idxs = rest
+		}
+	}
+	return out
+}
+
+// SortRows orders the rows deterministically (by data rendering, then valid
+// period) for stable figure output and comparison.
+func SortRows(r *Relation) {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		if as, bs := a.Data.String(), b.Data.String(); as != bs {
+			return as < bs
+		}
+		if a.Valid.From != b.Valid.From {
+			return a.Valid.From < b.Valid.From
+		}
+		return a.Valid.To < b.Valid.To
+	})
+}
+
+func rowKey(r Row) string {
+	return fmt.Sprintf("%v|%d|%d", r.Data, r.Valid.From, r.Valid.To)
+}

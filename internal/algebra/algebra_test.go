@@ -1,0 +1,308 @@
+package algebra
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tdb/internal/core"
+	"tdb/internal/schema"
+	"tdb/internal/tuple"
+	"tdb/internal/value"
+	"tdb/temporal"
+)
+
+var faculty = func() *schema.Schema {
+	s := schema.MustNew(
+		schema.Attribute{Name: "name", Type: value.String},
+		schema.Attribute{Name: "rank", Type: value.String},
+	)
+	keyed, err := s.WithKey("name")
+	if err != nil {
+		panic(err)
+	}
+	return keyed
+}()
+
+func fac(name, rank string) tuple.Tuple {
+	return tuple.New(value.NewString(name), value.NewString(rank))
+}
+
+func iv(a, b temporal.Chronon) temporal.Interval { return temporal.Interval{From: a, To: b} }
+
+func rel(rows ...Row) *Relation {
+	return &Relation{Schema: faculty, Rows: rows}
+}
+
+func TestScanStaticAndHistorical(t *testing.T) {
+	st := core.NewStaticStore(faculty)
+	if err := st.Insert(fac("Merrie", "full")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Scan(st, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0].Valid != temporal.All {
+		t.Fatalf("static scan = %+v", r.Rows)
+	}
+	// As-of on a static relation is a taxonomy violation.
+	if _, err := Scan(st, 5, true); !errors.Is(err, ErrNoRollback) {
+		t.Fatalf("as of static: %v", err)
+	}
+
+	hs := core.NewHistoricalStore(faculty)
+	if err := hs.Assert(fac("Merrie", "associate"), iv(10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	r, err = Scan(hs, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0].Valid != iv(10, 20) {
+		t.Fatalf("historical scan = %+v", r.Rows)
+	}
+	if _, err := Scan(hs, 5, true); !errors.Is(err, ErrNoRollback) {
+		t.Fatalf("as of historical: %v", err)
+	}
+}
+
+func TestScanRollbackAndTemporal(t *testing.T) {
+	rb := core.NewRollbackStore(faculty)
+	if err := rb.Insert(fac("A", "x"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Replace(tuple.New(value.NewString("A")), fac("A", "y"), 200); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Scan(rb, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.Rows) != 1 || cur.Rows[0].Data[1].Str() != "y" {
+		t.Fatalf("current = %+v", cur.Rows)
+	}
+	old, err := Scan(rb, 150, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Rows) != 1 || old.Rows[0].Data[1].Str() != "x" {
+		t.Fatalf("as of 150 = %+v", old.Rows)
+	}
+
+	ts := core.NewTemporalStore(faculty)
+	if err := ts.Assert(fac("A", "x"), iv(0, 50), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Assert(fac("A", "y"), iv(0, 50), 200); err != nil {
+		t.Fatal(err)
+	}
+	cur, err = Scan(ts, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.Rows) != 1 || cur.Rows[0].Data[1].Str() != "y" || cur.Rows[0].Valid != iv(0, 50) {
+		t.Fatalf("temporal current = %+v", cur.Rows)
+	}
+	old, err = Scan(ts, 150, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Rows) != 1 || old.Rows[0].Data[1].Str() != "x" {
+		t.Fatalf("temporal as of 150 = %+v", old.Rows)
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	r := rel(
+		Row{Data: fac("Merrie", "full"), Valid: iv(0, 10)},
+		Row{Data: fac("Tom", "associate"), Valid: iv(5, 15)},
+	)
+	sel, err := Select(r, func(row Row) (bool, error) {
+		return row.Data[0].Str() == "Merrie", nil
+	})
+	if err != nil || len(sel.Rows) != 1 {
+		t.Fatalf("select = %+v, %v", sel, err)
+	}
+	proj, err := Project(r, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Schema.Attr(0).Name != "rank" || len(proj.Rows) != 2 {
+		t.Fatalf("project = %+v", proj)
+	}
+	// Projection deduplicates identical (data, valid) rows.
+	dup := rel(
+		Row{Data: fac("A", "x"), Valid: iv(0, 10)},
+		Row{Data: fac("B", "x"), Valid: iv(0, 10)},
+	)
+	proj, err = Project(dup, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj.Rows) != 1 {
+		t.Fatalf("dedup failed: %+v", proj.Rows)
+	}
+	// Select propagates predicate errors.
+	boom := errors.New("boom")
+	if _, err := Select(r, func(Row) (bool, error) { return false, boom }); !errors.Is(err, boom) {
+		t.Errorf("select error: %v", err)
+	}
+}
+
+func TestProductIntersectsValid(t *testing.T) {
+	a := rel(Row{Data: fac("Merrie", "full"), Valid: iv(10, 30)})
+	b := rel(
+		Row{Data: fac("Tom", "associate"), Valid: iv(20, 40)},  // overlaps
+		Row{Data: fac("Mike", "assistant"), Valid: iv(50, 60)}, // disjoint
+	)
+	p, err := Product(a, b, "f1", "f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 1 {
+		t.Fatalf("product rows = %+v", p.Rows)
+	}
+	if p.Rows[0].Valid != iv(20, 30) {
+		t.Errorf("derived valid = %v", p.Rows[0].Valid)
+	}
+	if p.Schema.Index("f1.name") != 0 || p.Schema.Index("f2.rank") != 3 {
+		t.Errorf("product schema = %v", p.Schema)
+	}
+	if len(p.Rows[0].Data) != 4 {
+		t.Errorf("row arity = %d", len(p.Rows[0].Data))
+	}
+}
+
+func TestUnionDifference(t *testing.T) {
+	a := rel(
+		Row{Data: fac("A", "x"), Valid: iv(0, 10)},
+		Row{Data: fac("B", "y"), Valid: iv(0, 10)},
+	)
+	b := rel(
+		Row{Data: fac("B", "y"), Valid: iv(0, 10)},
+		Row{Data: fac("C", "z"), Valid: iv(0, 10)},
+	)
+	u, err := Union(a, b)
+	if err != nil || len(u.Rows) != 3 {
+		t.Fatalf("union = %+v, %v", u, err)
+	}
+	d, err := Difference(a, b)
+	if err != nil || len(d.Rows) != 1 || d.Rows[0].Data[0].Str() != "A" {
+		t.Fatalf("difference = %+v, %v", d, err)
+	}
+	other := &Relation{Schema: schema.MustNew(schema.Attribute{Name: "x", Type: value.Int})}
+	if _, err := Union(a, other); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("union mismatch: %v", err)
+	}
+	if _, err := Difference(a, other); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("difference mismatch: %v", err)
+	}
+	// Same data, different valid period: both kept.
+	c := rel(Row{Data: fac("A", "x"), Valid: iv(20, 30)})
+	u, err = Union(a, c)
+	if err != nil || len(u.Rows) != 3 {
+		t.Fatalf("union with shifted valid = %+v, %v", u, err)
+	}
+}
+
+func TestTimeSliceAndWhen(t *testing.T) {
+	r := rel(
+		Row{Data: fac("A", "x"), Valid: iv(0, 10)},
+		Row{Data: fac("B", "y"), Valid: iv(5, 15)},
+	)
+	s := TimeSlice(r, 12)
+	if len(s.Rows) != 1 || s.Rows[0].Data[0].Str() != "B" {
+		t.Fatalf("slice = %+v", s.Rows)
+	}
+	w := When(r, iv(8, 9))
+	if len(w.Rows) != 2 {
+		t.Fatalf("when = %+v", w.Rows)
+	}
+	w = When(r, iv(40, 50))
+	if len(w.Rows) != 0 {
+		t.Fatalf("when disjoint = %+v", w.Rows)
+	}
+}
+
+func TestCoalesceMergesValueEquivalentRows(t *testing.T) {
+	r := rel(
+		Row{Data: fac("A", "x"), Valid: iv(0, 10)},
+		Row{Data: fac("A", "x"), Valid: iv(10, 20)}, // meets
+		Row{Data: fac("A", "x"), Valid: iv(30, 40)}, // gap
+		Row{Data: fac("A", "y"), Valid: iv(5, 25)},  // different data
+	)
+	c := Coalesce(r)
+	SortRows(c)
+	if len(c.Rows) != 3 {
+		t.Fatalf("coalesced = %+v", c.Rows)
+	}
+	if c.Rows[0].Valid != iv(0, 20) || c.Rows[1].Valid != iv(30, 40) || c.Rows[2].Valid != iv(5, 25) {
+		t.Fatalf("coalesced = %+v", c.Rows)
+	}
+	// Event relations pass through unchanged.
+	er := &Relation{Schema: faculty, Event: true, Rows: []Row{
+		{Data: fac("A", "x"), Valid: temporal.At(5)},
+		{Data: fac("A", "x"), Valid: temporal.At(6)},
+	}}
+	if ec := Coalesce(er); len(ec.Rows) != 2 {
+		t.Fatalf("event coalesce = %+v", ec.Rows)
+	}
+}
+
+// Coalescing must preserve time-slice semantics at every instant.
+func TestCoalescePreservesSlicesProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		var rows []Row
+		for i, n := 0, r.Intn(12); i < n; i++ {
+			from := temporal.Chronon(r.Intn(40))
+			rows = append(rows, Row{
+				Data:  fac(string(rune('a'+r.Intn(3))), string(rune('x'+r.Intn(2)))),
+				Valid: iv(from, from+temporal.Chronon(r.Intn(15))),
+			})
+		}
+		in := rel(rows...)
+		out := Coalesce(in)
+		for probe := temporal.Chronon(0); probe < 60; probe++ {
+			a := TimeSlice(in, probe)
+			b := TimeSlice(out, probe)
+			seen := map[string]bool{}
+			for _, row := range a.Rows {
+				seen[row.Data.String()] = true
+			}
+			seenB := map[string]bool{}
+			for _, row := range b.Rows {
+				seenB[row.Data.String()] = true
+				if !seen[row.Data.String()] {
+					t.Fatalf("trial %d: coalesce invented %v at %d", trial, row.Data, probe)
+				}
+			}
+			for k := range seen {
+				if !seenB[k] {
+					t.Fatalf("trial %d: coalesce lost %s at %d", trial, k, probe)
+				}
+			}
+		}
+		// Idempotent.
+		again := Coalesce(out)
+		if len(again.Rows) != len(out.Rows) {
+			t.Fatalf("trial %d: coalesce not idempotent", trial)
+		}
+	}
+}
+
+func TestSortRowsDeterministic(t *testing.T) {
+	r := rel(
+		Row{Data: fac("B", "y"), Valid: iv(0, 10)},
+		Row{Data: fac("A", "x"), Valid: iv(5, 15)},
+		Row{Data: fac("A", "x"), Valid: iv(0, 10)},
+	)
+	SortRows(r)
+	if r.Rows[0].Data[0].Str() != "A" || r.Rows[0].Valid != iv(0, 10) {
+		t.Fatalf("sorted = %+v", r.Rows)
+	}
+	if r.Rows[2].Data[0].Str() != "B" {
+		t.Fatalf("sorted = %+v", r.Rows)
+	}
+}

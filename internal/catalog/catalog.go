@@ -1,0 +1,183 @@
+// Package catalog names and tracks the relations of a database: each
+// relation couples a name with a taxonomy kind (static, static rollback,
+// historical, temporal), an interval/event class, and the concrete store
+// implementing it.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tdb/internal/core"
+	"tdb/internal/schema"
+)
+
+// Errors returned by catalog operations.
+var (
+	// ErrExists reports creation of a relation whose name is taken.
+	ErrExists = errors.New("catalog: relation already exists")
+	// ErrNotFound reports a reference to an unknown relation.
+	ErrNotFound = errors.New("catalog: no such relation")
+	// ErrKindMismatch reports using a relation through the wrong kind's
+	// operations.
+	ErrKindMismatch = errors.New("catalog: operation not supported by relation kind")
+)
+
+// Relation is a named store in the catalog.
+type Relation struct {
+	name  string
+	kind  core.Kind
+	event bool
+
+	static     *core.StaticStore
+	rollback   *core.RollbackStore
+	historical *core.HistoricalStore
+	temporal   *core.TemporalStore
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Kind returns the relation's taxonomy kind.
+func (r *Relation) Kind() core.Kind { return r.kind }
+
+// Event reports whether the relation is an event relation.
+func (r *Relation) Event() bool { return r.event }
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() *schema.Schema { return r.Store().Schema() }
+
+// Store returns the relation's store through the kind-independent
+// interface.
+func (r *Relation) Store() core.Store {
+	switch r.kind {
+	case core.Static:
+		return r.static
+	case core.StaticRollback:
+		return r.rollback
+	case core.Historical:
+		return r.historical
+	default:
+		return r.temporal
+	}
+}
+
+// Transactional returns the store's transaction hooks.
+func (r *Relation) Transactional() core.Transactional {
+	return r.Store().(core.Transactional)
+}
+
+// Static returns the underlying static store, or an error for other kinds.
+func (r *Relation) Static() (*core.StaticStore, error) {
+	if r.static == nil {
+		return nil, fmt.Errorf("%w: %s is %s", ErrKindMismatch, r.name, r.kind)
+	}
+	return r.static, nil
+}
+
+// Rollback returns the underlying rollback store, or an error.
+func (r *Relation) Rollback() (*core.RollbackStore, error) {
+	if r.rollback == nil {
+		return nil, fmt.Errorf("%w: %s is %s", ErrKindMismatch, r.name, r.kind)
+	}
+	return r.rollback, nil
+}
+
+// Historical returns the underlying historical store, or an error.
+func (r *Relation) Historical() (*core.HistoricalStore, error) {
+	if r.historical == nil {
+		return nil, fmt.Errorf("%w: %s is %s", ErrKindMismatch, r.name, r.kind)
+	}
+	return r.historical, nil
+}
+
+// Temporal returns the underlying temporal store, or an error.
+func (r *Relation) Temporal() (*core.TemporalStore, error) {
+	if r.temporal == nil {
+		return nil, fmt.Errorf("%w: %s is %s", ErrKindMismatch, r.name, r.kind)
+	}
+	return r.temporal, nil
+}
+
+// Catalog is the set of relations in one database. It is not synchronized;
+// the Database facade serializes access.
+type Catalog struct {
+	rels map[string]*Relation
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{rels: make(map[string]*Relation)}
+}
+
+// Create adds a relation of the given kind. Event relations are only
+// meaningful for kinds carrying valid time (historical and temporal);
+// requesting one for other kinds fails with ErrKindMismatch.
+func (c *Catalog) Create(name string, kind core.Kind, event bool, sch *schema.Schema) (*Relation, error) {
+	if name == "" {
+		return nil, errors.New("catalog: relation needs a name")
+	}
+	if _, taken := c.rels[name]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if event && !kind.SupportsHistorical() {
+		return nil, fmt.Errorf("%w: %s relations carry no valid time to stamp events with", ErrKindMismatch, kind)
+	}
+	r := &Relation{name: name, kind: kind, event: event}
+	switch kind {
+	case core.Static:
+		r.static = core.NewStaticStore(sch)
+	case core.StaticRollback:
+		r.rollback = core.NewRollbackStore(sch)
+	case core.Historical:
+		if event {
+			r.historical = core.NewHistoricalEventStore(sch)
+		} else {
+			r.historical = core.NewHistoricalStore(sch)
+		}
+	case core.Temporal:
+		if event {
+			r.temporal = core.NewTemporalEventStore(sch)
+		} else {
+			r.temporal = core.NewTemporalStore(sch)
+		}
+	default:
+		return nil, fmt.Errorf("catalog: unknown kind %v", kind)
+	}
+	c.rels[name] = r
+	return r, nil
+}
+
+// Get looks a relation up by name.
+func (c *Catalog) Get(name string) (*Relation, error) {
+	r, ok := c.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return r, nil
+}
+
+// Drop removes a relation. For rollback and temporal relations this is a
+// schema-level destroy: the paper's append-only discipline governs tuples
+// within a relation, not the existence of the relation itself.
+func (c *Catalog) Drop(name string) error {
+	if _, ok := c.rels[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(c.rels, name)
+	return nil
+}
+
+// Names returns the sorted relation names.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of relations.
+func (c *Catalog) Len() int { return len(c.rels) }

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+
+	"tdb/internal/index"
+	"tdb/internal/schema"
+	"tdb/internal/tuple"
+	"tdb/temporal"
+)
+
+// TemporalStore is a temporal (bitemporal) relation (§4.4, Figure 8): every
+// version carries both a valid-time period and a transaction-time period,
+// making it possible "to view tuples valid at some moment seen as of some
+// other moment, completely capturing the history of retroactive/postactive
+// changes".
+//
+// The store is append-only: "each transaction causes a new historical state
+// to be created; hence, temporal relations are append-only". A correction
+// closes the transaction-time end of superseded versions and appends
+// replacements; nothing committed is ever modified or removed, which the
+// property tests TestTemporalAppendOnly* verify.
+type TemporalStore struct {
+	sch        *schema.Schema
+	event      bool
+	rows       []btRow
+	byKey      index.Hash // key hash -> positions of *current* versions
+	byTrans    *index.IntervalTree
+	lastCommit temporal.Chronon
+	useIndex   bool
+	j          journal
+}
+
+type btRow struct {
+	data  tuple.Tuple
+	valid temporal.Interval
+	trans temporal.Interval
+}
+
+// NewTemporalStore creates an empty temporal interval relation.
+func NewTemporalStore(sch *schema.Schema) *TemporalStore {
+	return &TemporalStore{
+		sch:        sch,
+		byTrans:    index.NewIntervalTree(),
+		lastCommit: temporal.Beginning,
+		useIndex:   true,
+	}
+}
+
+// NewTemporalEventStore creates an empty temporal event relation (a single
+// valid-time instant per tuple, like Figure 9's 'promotion' relation).
+func NewTemporalEventStore(sch *schema.Schema) *TemporalStore {
+	s := NewTemporalStore(sch)
+	s.event = true
+	return s
+}
+
+// DisableIntervalIndex switches AsOf to a linear scan for the ablation
+// benchmarks; the index is still maintained.
+func (s *TemporalStore) DisableIntervalIndex(disabled bool) { s.useIndex = !disabled }
+
+// BeginTxn starts collecting undo information (see Transactional).
+func (s *TemporalStore) BeginTxn() { s.j.begin() }
+
+// CommitTxn finalizes mutations since BeginTxn.
+func (s *TemporalStore) CommitTxn() { s.j.commit() }
+
+// AbortTxn reverts mutations since BeginTxn; an aborted transaction never
+// committed, so removing its versions does not break append-only-ness.
+func (s *TemporalStore) AbortTxn() { s.j.abort() }
+
+// Kind returns Temporal.
+func (s *TemporalStore) Kind() Kind { return Temporal }
+
+// Schema returns the relation schema.
+func (s *TemporalStore) Schema() *schema.Schema { return s.sch }
+
+// Event reports whether this is an event relation.
+func (s *TemporalStore) Event() bool { return s.event }
+
+// VersionCount returns the total number of stored versions, current and
+// superseded.
+func (s *TemporalStore) VersionCount() int { return len(s.rows) }
+
+// LastCommit returns the latest commit chronon applied.
+func (s *TemporalStore) LastCommit() temporal.Chronon { return s.lastCommit }
+
+// Assert records, at commit time at, the belief that tuple t held
+// throughout the valid period. Current versions of the same key whose valid
+// periods overlap are superseded: their transaction time is closed, their
+// non-overlapped valid-time remainders are re-appended as current versions,
+// and the new content is appended. Only valid on interval relations.
+func (s *TemporalStore) Assert(t tuple.Tuple, valid temporal.Interval, at temporal.Chronon) error {
+	if err := validate(s.sch, t); err != nil {
+		return err
+	}
+	if s.event {
+		return ErrEventRelation
+	}
+	if valid.IsEmpty() || !valid.IsValid() {
+		return ErrEmptyValidPeriod
+	}
+	if err := s.admit(at); err != nil {
+		return err
+	}
+	key := t.Key(s.sch)
+	s.supersede(key, valid, at)
+	s.append(t.Clone(), key, valid, at)
+	return nil
+}
+
+// Retract records, at commit time at, that no tuple with the given key held
+// during the valid period. It fails with ErrNoSuchTuple when current belief
+// contains nothing to retract.
+func (s *TemporalStore) Retract(key tuple.Tuple, valid temporal.Interval, at temporal.Chronon) error {
+	if valid.IsEmpty() || !valid.IsValid() {
+		return ErrEmptyValidPeriod
+	}
+	if err := s.admit(at); err != nil {
+		return err
+	}
+	if n := s.supersede(key, valid, at); n == 0 {
+		return ErrNoSuchTuple
+	}
+	return nil
+}
+
+// AssertAt records, at commit time at, that event tuple t occurred at
+// instant validAt. Events accumulate; correcting one requires RetractAt.
+// Only valid on event relations.
+func (s *TemporalStore) AssertAt(t tuple.Tuple, validAt, at temporal.Chronon) error {
+	if err := validate(s.sch, t); err != nil {
+		return err
+	}
+	if !s.event {
+		return ErrEventRelation
+	}
+	if !validAt.IsFinite() {
+		return ErrEmptyValidPeriod
+	}
+	if err := s.admit(at); err != nil {
+		return err
+	}
+	s.append(t.Clone(), t.Key(s.sch), temporal.At(validAt), at)
+	return nil
+}
+
+// RetractAt supersedes, at commit time at, the current event versions of
+// key occurring at instant validAt (Figure 9's correction of Tom's
+// erroneous 'full' promotion). Only valid on event relations.
+func (s *TemporalStore) RetractAt(key tuple.Tuple, validAt, at temporal.Chronon) error {
+	if !s.event {
+		return ErrEventRelation
+	}
+	if err := s.admit(at); err != nil {
+		return err
+	}
+	n := 0
+	kh := key.Hash64()
+	for _, pos := range append([]int(nil), s.byKey.Lookup(kh)...) {
+		row := &s.rows[pos]
+		if row.trans.To != temporal.Forever ||
+			row.valid.From != validAt ||
+			!tuple.Equal(row.data.Key(s.sch), key) {
+			continue
+		}
+		s.closeRow(pos, kh, at)
+		n++
+	}
+	if n == 0 {
+		return ErrNoSuchTuple
+	}
+	return nil
+}
+
+// supersede closes every current version of key whose valid period overlaps
+// valid, re-appending the uncovered remainders as fresh current versions.
+// It returns the number of versions superseded.
+func (s *TemporalStore) supersede(key tuple.Tuple, valid temporal.Interval, at temporal.Chronon) int {
+	n := 0
+	kh := key.Hash64()
+	for _, pos := range append([]int(nil), s.byKey.Lookup(kh)...) {
+		row := s.rows[pos] // copy: s.rows may grow below
+		if row.trans.To != temporal.Forever ||
+			!row.valid.Overlaps(valid) ||
+			!tuple.Equal(row.data.Key(s.sch), key) {
+			continue
+		}
+		n++
+		s.closeRow(pos, kh, at)
+		for _, rem := range row.valid.Subtract(valid) {
+			s.append(row.data, key, rem, at)
+		}
+	}
+	return n
+}
+
+// AsOf performs the rollback operation, returning the historical state that
+// was current at transaction time t: every version asserted by then and not
+// yet superseded, stamped with its valid period. The result of rollback on
+// a temporal relation is a historical relation (§4.4).
+func (s *TemporalStore) AsOf(t temporal.Chronon) []Version {
+	var out []Version
+	if s.useIndex {
+		s.byTrans.Stab(t, func(_ temporal.Interval, pos int) bool {
+			row := s.rows[pos]
+			out = append(out, Version{Data: row.data, Valid: row.valid, Trans: row.trans})
+			return true
+		})
+		return out
+	}
+	for _, row := range s.rows {
+		if row.trans.Contains(t) {
+			out = append(out, Version{Data: row.data, Valid: row.valid, Trans: row.trans})
+		}
+	}
+	return out
+}
+
+// During returns every version that belonged to some believed state during
+// the transaction-time window (TQuel's "as of E1 through E2").
+func (s *TemporalStore) During(window temporal.Interval) []Version {
+	var out []Version
+	s.byTrans.Overlapping(window, func(iv temporal.Interval, pos int) bool {
+		row := s.rows[pos]
+		out = append(out, Version{Data: row.data, Valid: row.valid, Trans: iv})
+		return true
+	})
+	return out
+}
+
+// TimeSlice answers the fully bitemporal point query: the tuples valid at
+// instant v according to the database state as of transaction time asOf.
+func (s *TemporalStore) TimeSlice(v, asOf temporal.Chronon) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, ver := range s.AsOf(asOf) {
+		if ver.Valid.Contains(v) {
+			out = append(out, ver.Data)
+		}
+	}
+	return out
+}
+
+// When returns the versions current as of asOf whose valid period overlaps
+// q — the primitive behind TQuel's combined when + as of query in §4.4.
+func (s *TemporalStore) When(q temporal.Interval, asOf temporal.Chronon) []Version {
+	var out []Version
+	for _, ver := range s.AsOf(asOf) {
+		if ver.Valid.Overlaps(q) {
+			out = append(out, ver)
+		}
+	}
+	return out
+}
+
+// History returns the currently believed versions for key in valid order.
+func (s *TemporalStore) History(key tuple.Tuple) []Version {
+	var out []Version
+	for _, pos := range s.byKey.Lookup(key.Hash64()) {
+		row := s.rows[pos]
+		if row.trans.To == temporal.Forever && tuple.Equal(row.data.Key(s.sch), key) {
+			out = append(out, Version{Data: row.data, Valid: row.valid, Trans: row.trans})
+		}
+	}
+	sortVersionsByValid(out)
+	return out
+}
+
+// RestoreVersion reloads one stored version verbatim, including superseded
+// ones. It exists solely for checkpoint recovery: the version's periods are
+// taken as recorded, bypassing the update algebra.
+func (s *TemporalStore) RestoreVersion(v Version) error {
+	if err := validate(s.sch, v.Data); err != nil {
+		return err
+	}
+	if !v.Trans.IsValid() || !v.Trans.From.IsFinite() {
+		return fmt.Errorf("core: restoring version with malformed transaction period %v", v.Trans)
+	}
+	if !v.Valid.IsValid() {
+		return fmt.Errorf("core: restoring version with malformed valid period %v", v.Valid)
+	}
+	if s.event {
+		if d, ok := v.Valid.Duration(); !ok || d != 1 {
+			return fmt.Errorf("core: restoring non-event period %v into event relation", v.Valid)
+		}
+	}
+	s.rows = append(s.rows, btRow{data: v.Data.Clone(), valid: v.Valid, trans: v.Trans})
+	pos := len(s.rows) - 1
+	if v.Trans.To == temporal.Forever {
+		s.byKey.Add(v.Data.Key(s.sch).Hash64(), pos)
+	}
+	s.byTrans.Insert(v.Trans, pos)
+	if v.Trans.From > s.lastCommit {
+		s.lastCommit = v.Trans.From
+	}
+	if v.Trans.To.IsFinite() && v.Trans.To > s.lastCommit {
+		s.lastCommit = v.Trans.To
+	}
+	return nil
+}
+
+// Versions yields every stored version in commit order.
+func (s *TemporalStore) Versions(fn func(Version) bool) {
+	for _, row := range s.rows {
+		if !fn(Version{Data: row.data, Valid: row.valid, Trans: row.trans}) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the tuples believed (as of now) to be valid at now.
+func (s *TemporalStore) Snapshot(now temporal.Chronon) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, row := range s.rows {
+		if row.trans.To == temporal.Forever && row.valid.Contains(now) {
+			out = append(out, row.data)
+		}
+	}
+	return out
+}
+
+func (s *TemporalStore) admit(at temporal.Chronon) error {
+	if at < s.lastCommit || !at.IsFinite() {
+		return ErrTimeRegression
+	}
+	prev := s.lastCommit
+	s.lastCommit = at
+	s.j.record(func() { s.lastCommit = prev })
+	return nil
+}
+
+func (s *TemporalStore) append(t, key tuple.Tuple, valid temporal.Interval, at temporal.Chronon) {
+	iv := temporal.Since(at)
+	s.rows = append(s.rows, btRow{data: t, valid: valid, trans: iv})
+	pos := len(s.rows) - 1
+	kh := key.Hash64()
+	s.byKey.Add(kh, pos)
+	s.byTrans.Insert(iv, pos)
+	s.j.record(func() {
+		s.byTrans.Remove(iv, pos)
+		s.byKey.Remove(kh, pos)
+		s.rows = s.rows[:pos] // LIFO undo: pos is the last row
+	})
+}
+
+// closeRow supersedes a current version: its transaction-time end becomes
+// the commit chronon and it leaves the current-version key index.
+func (s *TemporalStore) closeRow(pos int, keyHash uint64, at temporal.Chronon) {
+	old := s.rows[pos].trans
+	closed := temporal.Interval{From: old.From, To: at}
+	s.rows[pos].trans = closed
+	s.byTrans.Update(old, pos, closed)
+	s.byKey.Remove(keyHash, pos)
+	s.j.record(func() {
+		s.byKey.Add(keyHash, pos)
+		s.byTrans.Update(closed, pos, old)
+		s.rows[pos].trans = old
+	})
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"tdb/internal/schema"
+	"tdb/internal/tuple"
+	"tdb/internal/value"
+	"tdb/temporal"
+)
+
+// The paper's running example: faculty(name, rank) keyed by name.
+func facultySchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s := schema.MustNew(
+		schema.Attribute{Name: "name", Type: value.String},
+		schema.Attribute{Name: "rank", Type: value.String},
+	)
+	keyed, err := s.WithKey("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keyed
+}
+
+func fac(name, rank string) tuple.Tuple {
+	return tuple.New(value.NewString(name), value.NewString(rank))
+}
+
+func nameKey(name string) tuple.Tuple {
+	return tuple.New(value.NewString(name))
+}
+
+// Dates used throughout the paper's figures.
+var (
+	d770825 = temporal.Date(1977, 8, 25)  // Merrie entered (postactively)
+	d770901 = temporal.Date(1977, 9, 1)   // Merrie started
+	d821201 = temporal.Date(1982, 12, 1)  // Merrie promoted; Tom entered
+	d821205 = temporal.Date(1982, 12, 5)  // Tom started
+	d821207 = temporal.Date(1982, 12, 7)  // Tom's rank corrected
+	d821210 = temporal.Date(1982, 12, 10) // query date (Figure 4/8)
+	d821215 = temporal.Date(1982, 12, 15) // Merrie's promotion recorded
+	d821220 = temporal.Date(1982, 12, 20) // second query date (§4.4)
+	d830101 = temporal.Date(1983, 1, 1)   // Mike started
+	d830110 = temporal.Date(1983, 1, 10)  // Mike entered
+	d840225 = temporal.Date(1984, 2, 25)  // Mike's departure recorded
+	d840301 = temporal.Date(1984, 3, 1)   // Mike left
+)
+
+// tupleNames extracts the name attribute of each tuple, sorted, for
+// order-insensitive state comparison.
+func tupleNames(ts []tuple.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t[0].Str()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tupleSet renders tuples as sorted strings for set comparison.
+func tupleSet(ts []tuple.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// versionSet renders versions as sorted strings for set comparison.
+func versionSet(vs []Version) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	sort.Strings(out)
+	return out
+}

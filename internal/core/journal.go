@@ -1,0 +1,60 @@
+package core
+
+// journal collects inverse closures for the mutations a store performs
+// inside a transaction. On abort the closures run in reverse (LIFO) order,
+// restoring the store to its pre-transaction state; on commit they are
+// discarded. While no transaction is active, recording is a no-op and every
+// mutation is immediately final.
+//
+// The LIFO discipline is what makes position-based inverses exact: an
+// inverse that re-adds a row allocates from the free list, whose top is —
+// because every later mutation has already been undone — precisely the slot
+// the original drop released.
+type journal struct {
+	undo   []func()
+	active bool
+}
+
+// begin starts collecting inverses. Nested transactions are not supported;
+// the transaction manager serializes writers.
+func (j *journal) begin() {
+	if j.active {
+		panic("core: nested transaction on store")
+	}
+	j.active = true
+	j.undo = j.undo[:0]
+}
+
+// commit discards the collected inverses, making the mutations final.
+func (j *journal) commit() {
+	j.active = false
+	j.undo = j.undo[:0]
+}
+
+// abort runs the collected inverses in reverse order.
+func (j *journal) abort() {
+	for i := len(j.undo) - 1; i >= 0; i-- {
+		j.undo[i]()
+	}
+	j.active = false
+	j.undo = j.undo[:0]
+}
+
+// record registers an inverse for a mutation that just happened.
+func (j *journal) record(fn func()) {
+	if j.active {
+		j.undo = append(j.undo, fn)
+	}
+}
+
+// Transactional is implemented by every store: the transaction manager
+// brackets multi-store updates with these calls so that a failing update
+// leaves no partial effects anywhere.
+type Transactional interface {
+	// BeginTxn starts collecting undo information.
+	BeginTxn()
+	// CommitTxn makes all mutations since BeginTxn final.
+	CommitTxn()
+	// AbortTxn reverts all mutations since BeginTxn.
+	AbortTxn()
+}

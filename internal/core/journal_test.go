@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tdb/temporal"
+)
+
+// fingerprint captures the externally observable state of a store: every
+// version plus snapshots and rollbacks at many probe instants.
+func fingerprint(s Store, probes []temporal.Chronon) []string {
+	var out []string
+	s.Versions(func(v Version) bool {
+		out = append(out, "v:"+v.String())
+		return true
+	})
+	for _, p := range probes {
+		for _, t := range s.Snapshot(p) {
+			out = append(out, fmt.Sprintf("s%v:%v", p, t))
+		}
+	}
+	switch st := s.(type) {
+	case *RollbackStore:
+		for _, p := range probes {
+			for _, t := range st.AsOf(p) {
+				out = append(out, fmt.Sprintf("a%v:%v", p, t))
+			}
+		}
+	case *TemporalStore:
+		for _, p := range probes {
+			for _, v := range st.AsOf(p) {
+				out = append(out, fmt.Sprintf("a%v:%v", p, v))
+			}
+		}
+	case *CopyRollbackStore:
+		for _, p := range probes {
+			for _, t := range st.AsOf(p) {
+				out = append(out, fmt.Sprintf("a%v:%v", p, t))
+			}
+		}
+	case *HistoricalStore:
+		for _, p := range probes {
+			for _, t := range st.TimeSlice(p) {
+				out = append(out, fmt.Sprintf("a%v:%v", p, t))
+			}
+		}
+	}
+	// Index-backed enumeration order (treap shape) may legitimately differ
+	// after undo; only the set of observations matters.
+	sort.Strings(out)
+	return out
+}
+
+// randomOp applies one random (possibly failing) mutation appropriate to
+// the store kind.
+func randomOp(r *rand.Rand, s Store, clock *temporal.TickingClock, i int) {
+	names := []string{"a", "b", "c", "d"}
+	name := names[r.Intn(len(names))]
+	data := fac(name, fmt.Sprint(i%4))
+	key := nameKey(name)
+	from := temporal.Chronon(r.Intn(60))
+	valid := temporal.Interval{From: from, To: from + 1 + temporal.Chronon(r.Intn(30))}
+	switch st := s.(type) {
+	case *StaticStore:
+		switch r.Intn(3) {
+		case 0:
+			_ = st.Insert(data)
+		case 1:
+			_ = st.Delete(key)
+		default:
+			_ = st.Replace(key, data)
+		}
+	case *RollbackStore:
+		at := clock.Now()
+		switch r.Intn(3) {
+		case 0:
+			_ = st.Insert(data, at)
+		case 1:
+			_ = st.Delete(key, at)
+		default:
+			_ = st.Replace(key, data, at)
+		}
+	case *CopyRollbackStore:
+		at := clock.Now()
+		switch r.Intn(3) {
+		case 0:
+			_ = st.Insert(data, at)
+		case 1:
+			_ = st.Delete(key, at)
+		default:
+			_ = st.Replace(key, data, at)
+		}
+	case *HistoricalStore:
+		if r.Intn(3) > 0 {
+			_ = st.Assert(data, valid)
+		} else {
+			_ = st.Retract(key, valid)
+		}
+	case *TemporalStore:
+		at := clock.Now()
+		if r.Intn(3) > 0 {
+			_ = st.Assert(data, valid, at)
+		} else {
+			_ = st.Retract(key, valid, at)
+		}
+	}
+}
+
+type txnStore interface {
+	Store
+	Transactional
+}
+
+// TestAbortRestoresState: for every store kind, a random prefix of
+// committed work followed by an aborted transaction of random work must
+// leave the store observably identical to the pre-transaction state —
+// and a committed transaction must keep its effects.
+func TestAbortRestoresState(t *testing.T) {
+	makeStores := func(t *testing.T) map[string]txnStore {
+		return map[string]txnStore{
+			"static":     NewStaticStore(facultySchema(t)),
+			"rollback":   NewRollbackStore(facultySchema(t)),
+			"copy":       NewCopyRollbackStore(facultySchema(t)),
+			"historical": NewHistoricalStore(facultySchema(t)),
+			"temporal":   NewTemporalStore(facultySchema(t)),
+		}
+	}
+	var probes []temporal.Chronon
+	for p := temporal.Chronon(0); p < 3000; p += 97 {
+		probes = append(probes, p)
+	}
+	for name, s := range makeStores(t) {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(len(name))))
+			clock := temporal.NewTickingClock(100)
+			for trial := 0; trial < 20; trial++ {
+				// Committed prefix.
+				for i := 0; i < 10; i++ {
+					randomOp(r, s, clock, i)
+				}
+				before := fingerprint(s, probes)
+
+				// Aborted transaction.
+				s.BeginTxn()
+				for i := 0; i < 15; i++ {
+					randomOp(r, s, clock, i+100)
+				}
+				s.AbortTxn()
+				after := fingerprint(s, probes)
+				if !equalStrings(before, after) {
+					t.Fatalf("trial %d: abort did not restore state:\nbefore %v\nafter  %v",
+						trial, before, after)
+				}
+
+				// Committed transaction keeps effects and can be fingerprinted.
+				s.BeginTxn()
+				for i := 0; i < 5; i++ {
+					randomOp(r, s, clock, i+200)
+				}
+				s.CommitTxn()
+			}
+		})
+	}
+}
+
+func TestNestedTxnPanics(t *testing.T) {
+	s := NewStaticStore(facultySchema(t))
+	s.BeginTxn()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested BeginTxn must panic")
+		}
+	}()
+	s.BeginTxn()
+}

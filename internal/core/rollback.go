@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+
+	"tdb/internal/index"
+	"tdb/internal/schema"
+	"tdb/internal/tuple"
+	"tdb/temporal"
+)
+
+// RollbackStore is a static rollback relation (§4.2, Figure 4): every tuple
+// carries the transaction-time period during which it was part of the
+// current state, and the rollback operation AsOf reconstructs any past
+// state. The store is append-only — "once a transaction has completed, the
+// static relations in the static rollback relation may not be altered" — so
+// the only permitted change to committed data is closing a current
+// version's transaction-time end.
+//
+// Updates take a commit chronon supplied by the transaction layer, which
+// must be non-decreasing; supplying an earlier chronon fails with
+// ErrTimeRegression (the paper's "non-stop running clock").
+type RollbackStore struct {
+	sch        *schema.Schema
+	rows       []rbRow
+	byKey      index.Hash // key hash -> current position
+	byTrans    *index.IntervalTree
+	lastCommit temporal.Chronon
+	useIndex   bool
+	j          journal
+}
+
+type rbRow struct {
+	data  tuple.Tuple
+	trans temporal.Interval
+}
+
+// NewRollbackStore creates an empty static rollback relation.
+func NewRollbackStore(sch *schema.Schema) *RollbackStore {
+	return &RollbackStore{
+		sch:        sch,
+		byTrans:    index.NewIntervalTree(),
+		lastCommit: temporal.Beginning,
+		useIndex:   true,
+	}
+}
+
+// DisableIntervalIndex switches AsOf to a linear scan over all versions.
+// It exists solely for the ablation benchmarks (A3 in DESIGN.md); the index
+// is still maintained.
+func (s *RollbackStore) DisableIntervalIndex(disabled bool) { s.useIndex = !disabled }
+
+// BeginTxn starts collecting undo information (see Transactional).
+func (s *RollbackStore) BeginTxn() { s.j.begin() }
+
+// CommitTxn finalizes mutations since BeginTxn.
+func (s *RollbackStore) CommitTxn() { s.j.commit() }
+
+// AbortTxn reverts mutations since BeginTxn. Aborting does not violate the
+// append-only discipline: an aborted transaction never committed, so the
+// versions it wrote were never part of any completed state.
+func (s *RollbackStore) AbortTxn() { s.j.abort() }
+
+// Kind returns StaticRollback.
+func (s *RollbackStore) Kind() Kind { return StaticRollback }
+
+// Schema returns the relation schema.
+func (s *RollbackStore) Schema() *schema.Schema { return s.sch }
+
+// Event returns false: rollback relations carry no valid time at all.
+func (s *RollbackStore) Event() bool { return false }
+
+// VersionCount returns the total number of stored versions, current and
+// closed.
+func (s *RollbackStore) VersionCount() int { return len(s.rows) }
+
+// LastCommit returns the latest commit chronon applied.
+func (s *RollbackStore) LastCommit() temporal.Chronon { return s.lastCommit }
+
+// Insert appends a tuple to the current state at commit time at. As in a
+// static database, "a tuple becomes valid as soon as it is entered": there
+// is no way to record retroactive or postactive information here.
+func (s *RollbackStore) Insert(t tuple.Tuple, at temporal.Chronon) error {
+	if err := validate(s.sch, t); err != nil {
+		return err
+	}
+	if err := s.admit(at); err != nil {
+		return err
+	}
+	key := t.Key(s.sch)
+	if _, ok := s.current(key); ok {
+		return ErrDuplicateKey
+	}
+	s.append(t.Clone(), key, at)
+	return nil
+}
+
+// Delete removes the tuple with the given key from the current state at
+// commit time at. The version remains reachable through AsOf forever:
+// errors "can sometimes be overridden ... but they cannot be forgotten".
+func (s *RollbackStore) Delete(key tuple.Tuple, at temporal.Chronon) error {
+	if err := s.admit(at); err != nil {
+		return err
+	}
+	pos, ok := s.current(key)
+	if !ok {
+		return ErrNoSuchTuple
+	}
+	s.close(pos, key, at)
+	return nil
+}
+
+// Replace substitutes the tuple with the given key at commit time at,
+// closing the old version and appending the new one.
+func (s *RollbackStore) Replace(key tuple.Tuple, t tuple.Tuple, at temporal.Chronon) error {
+	if err := validate(s.sch, t); err != nil {
+		return err
+	}
+	if err := s.admit(at); err != nil {
+		return err
+	}
+	pos, ok := s.current(key)
+	if !ok {
+		return ErrNoSuchTuple
+	}
+	newKey := t.Key(s.sch)
+	if !tuple.Equal(key, newKey) {
+		if _, exists := s.current(newKey); exists {
+			return ErrDuplicateKey
+		}
+	}
+	s.close(pos, key, at)
+	s.append(t.Clone(), newKey, at)
+	return nil
+}
+
+// Get returns the current tuple with the given key.
+func (s *RollbackStore) Get(key tuple.Tuple) (tuple.Tuple, bool) {
+	pos, ok := s.current(key)
+	if !ok {
+		return nil, false
+	}
+	return s.rows[pos].data, true
+}
+
+// AsOf performs the rollback operation: it returns the static state that
+// was current at transaction time t. The result of rollback on a static
+// rollback relation is a pure static relation (§4.2).
+func (s *RollbackStore) AsOf(t temporal.Chronon) []tuple.Tuple {
+	var out []tuple.Tuple
+	if s.useIndex {
+		s.byTrans.Stab(t, func(_ temporal.Interval, pos int) bool {
+			out = append(out, s.rows[pos].data)
+			return true
+		})
+		return out
+	}
+	for _, row := range s.rows {
+		if row.trans.Contains(t) {
+			out = append(out, row.data)
+		}
+	}
+	return out
+}
+
+// During returns every version that was part of some current state during
+// the transaction-time window — the primitive behind TQuel's
+// "as of E1 through E2", which views the database across a span of its own
+// history rather than at one instant.
+func (s *RollbackStore) During(window temporal.Interval) []Version {
+	var out []Version
+	s.byTrans.Overlapping(window, func(iv temporal.Interval, pos int) bool {
+		out = append(out, Version{Data: s.rows[pos].data, Valid: temporal.All, Trans: iv})
+		return true
+	})
+	return out
+}
+
+// Snapshot returns the current state.
+func (s *RollbackStore) Snapshot(now temporal.Chronon) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, row := range s.rows {
+		if row.trans.To == temporal.Forever {
+			out = append(out, row.data)
+		}
+	}
+	_ = now
+	return out
+}
+
+// Versions yields every stored version; valid time is reported as the
+// universal interval since the kind does not model it.
+func (s *RollbackStore) Versions(fn func(Version) bool) {
+	for _, row := range s.rows {
+		if !fn(Version{Data: row.data, Valid: temporal.All, Trans: row.trans}) {
+			return
+		}
+	}
+}
+
+// RestoreVersion reloads one stored version verbatim, including superseded
+// ones. It exists solely for checkpoint recovery: it bypasses the update
+// algebra (the version's transaction period is taken as recorded) while
+// preserving the append-only invariants thereafter.
+func (s *RollbackStore) RestoreVersion(v Version) error {
+	if err := validate(s.sch, v.Data); err != nil {
+		return err
+	}
+	if !v.Trans.IsValid() || !v.Trans.From.IsFinite() {
+		return fmt.Errorf("core: restoring version with malformed transaction period %v", v.Trans)
+	}
+	s.rows = append(s.rows, rbRow{data: v.Data.Clone(), trans: v.Trans})
+	pos := len(s.rows) - 1
+	if v.Trans.To == temporal.Forever {
+		s.byKey.Add(v.Data.Key(s.sch).Hash64(), pos)
+	}
+	s.byTrans.Insert(v.Trans, pos)
+	if v.Trans.From > s.lastCommit {
+		s.lastCommit = v.Trans.From
+	}
+	if v.Trans.To.IsFinite() && v.Trans.To > s.lastCommit {
+		s.lastCommit = v.Trans.To
+	}
+	return nil
+}
+
+// Scan calls fn for every current tuple.
+func (s *RollbackStore) Scan(fn func(tuple.Tuple) bool) {
+	for _, row := range s.rows {
+		if row.trans.To == temporal.Forever && !fn(row.data) {
+			return
+		}
+	}
+}
+
+func (s *RollbackStore) admit(at temporal.Chronon) error {
+	if at < s.lastCommit {
+		return ErrTimeRegression
+	}
+	if !at.IsFinite() {
+		return ErrTimeRegression
+	}
+	prev := s.lastCommit
+	s.lastCommit = at
+	s.j.record(func() { s.lastCommit = prev })
+	return nil
+}
+
+func (s *RollbackStore) current(key tuple.Tuple) (int, bool) {
+	for _, pos := range s.byKey.Lookup(key.Hash64()) {
+		row := s.rows[pos]
+		if row.trans.To == temporal.Forever && tuple.Equal(row.data.Key(s.sch), key) {
+			return pos, true
+		}
+	}
+	return 0, false
+}
+
+func (s *RollbackStore) append(t, key tuple.Tuple, at temporal.Chronon) {
+	iv := temporal.Since(at)
+	s.rows = append(s.rows, rbRow{data: t, trans: iv})
+	pos := len(s.rows) - 1
+	kh := key.Hash64()
+	s.byKey.Add(kh, pos)
+	s.byTrans.Insert(iv, pos)
+	s.j.record(func() {
+		s.byTrans.Remove(iv, pos)
+		s.byKey.Remove(kh, pos)
+		s.rows = s.rows[:pos] // LIFO undo: pos is the last row
+	})
+}
+
+func (s *RollbackStore) close(pos int, key tuple.Tuple, at temporal.Chronon) {
+	old := s.rows[pos].trans
+	closed := temporal.Interval{From: old.From, To: at}
+	s.rows[pos].trans = closed
+	kh := key.Hash64()
+	s.byKey.Remove(kh, pos)
+	s.byTrans.Update(old, pos, closed)
+	s.j.record(func() {
+		s.byTrans.Update(closed, pos, old)
+		s.byKey.Add(kh, pos)
+		s.rows[pos].trans = old
+	})
+}

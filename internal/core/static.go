@@ -1,0 +1,198 @@
+package core
+
+import (
+	"tdb/internal/index"
+	"tdb/internal/schema"
+	"tdb/internal/tuple"
+	"tdb/temporal"
+)
+
+// StaticStore is a conventional snapshot relation (§4.1, Figure 2): it
+// models the changing real world by a single state, and every update
+// discards the previous state completely. It can answer neither historical
+// queries nor rollback queries — TestStaticLimitations demonstrates the
+// paper's four inexpressible requests against this type.
+//
+// StaticStore is not safe for concurrent use; the transaction layer above
+// serializes access.
+type StaticStore struct {
+	sch   *schema.Schema
+	rows  []tuple.Tuple // nil entries are free slots
+	free  []int
+	byKey index.Hash
+	j     journal
+}
+
+// NewStaticStore creates an empty static relation with the given schema.
+func NewStaticStore(sch *schema.Schema) *StaticStore {
+	return &StaticStore{sch: sch}
+}
+
+// BeginTxn starts collecting undo information (see Transactional).
+func (s *StaticStore) BeginTxn() { s.j.begin() }
+
+// CommitTxn finalizes mutations since BeginTxn.
+func (s *StaticStore) CommitTxn() { s.j.commit() }
+
+// AbortTxn reverts mutations since BeginTxn.
+func (s *StaticStore) AbortTxn() { s.j.abort() }
+
+// Kind returns Static.
+func (s *StaticStore) Kind() Kind { return Static }
+
+// Schema returns the relation schema.
+func (s *StaticStore) Schema() *schema.Schema { return s.sch }
+
+// Event returns false: static relations carry no time at all.
+func (s *StaticStore) Event() bool { return false }
+
+// Len returns the number of tuples in the current state.
+func (s *StaticStore) Len() int { return s.byKey.Len() }
+
+// Insert adds a tuple to the current state. It fails with ErrDuplicateKey
+// if a tuple with the same key is present.
+func (s *StaticStore) Insert(t tuple.Tuple) error {
+	if err := validate(s.sch, t); err != nil {
+		return err
+	}
+	key := t.Key(s.sch)
+	if _, ok := s.lookup(key); ok {
+		return ErrDuplicateKey
+	}
+	pos := s.alloc(t.Clone())
+	kh := key.Hash64()
+	s.byKey.Add(kh, pos)
+	s.j.record(func() {
+		s.byKey.Remove(kh, pos)
+		s.rows[pos] = nil
+		s.free = append(s.free, pos)
+	})
+	return nil
+}
+
+// Delete removes the tuple with the given key; the old state is forgotten.
+func (s *StaticStore) Delete(key tuple.Tuple) error {
+	pos, ok := s.lookup(key)
+	if !ok {
+		return ErrNoSuchTuple
+	}
+	kh := key.Hash64()
+	old := s.rows[pos]
+	s.byKey.Remove(kh, pos)
+	s.rows[pos] = nil
+	s.free = append(s.free, pos)
+	s.j.record(func() {
+		s.popFree(pos)
+		s.rows[pos] = old
+		s.byKey.Add(kh, pos)
+	})
+	return nil
+}
+
+// Replace substitutes the tuple with the given key; the old value is
+// forgotten (the replacement "takes effect as soon as it is committed" and
+// the past is discarded, §4.1).
+func (s *StaticStore) Replace(key tuple.Tuple, t tuple.Tuple) error {
+	if err := validate(s.sch, t); err != nil {
+		return err
+	}
+	pos, ok := s.lookup(key)
+	if !ok {
+		return ErrNoSuchTuple
+	}
+	newKey := t.Key(s.sch)
+	keyChanged := !tuple.Equal(key, newKey)
+	if keyChanged {
+		if _, exists := s.lookup(newKey); exists {
+			return ErrDuplicateKey
+		}
+		s.byKey.Remove(key.Hash64(), pos)
+		s.byKey.Add(newKey.Hash64(), pos)
+	}
+	old := s.rows[pos]
+	s.rows[pos] = t.Clone()
+	s.j.record(func() {
+		s.rows[pos] = old
+		if keyChanged {
+			s.byKey.Remove(newKey.Hash64(), pos)
+			s.byKey.Add(key.Hash64(), pos)
+		}
+	})
+	return nil
+}
+
+// popFree removes pos from the free list; LIFO undo guarantees it is on
+// top, but a linear fallback keeps the store safe regardless.
+func (s *StaticStore) popFree(pos int) {
+	if n := len(s.free); n > 0 && s.free[n-1] == pos {
+		s.free = s.free[:n-1]
+		return
+	}
+	for i, p := range s.free {
+		if p == pos {
+			s.free = append(s.free[:i], s.free[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get returns the current tuple with the given key.
+func (s *StaticStore) Get(key tuple.Tuple) (tuple.Tuple, bool) {
+	pos, ok := s.lookup(key)
+	if !ok {
+		return nil, false
+	}
+	return s.rows[pos], true
+}
+
+// Scan calls fn for every tuple in the current state, stopping early if fn
+// returns false.
+func (s *StaticStore) Scan(fn func(tuple.Tuple) bool) {
+	for _, row := range s.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// Versions presents the current state as versions stamped with the
+// universal interval on both axes: a static relation carries no time.
+func (s *StaticStore) Versions(fn func(Version) bool) {
+	s.Scan(func(t tuple.Tuple) bool {
+		return fn(Version{Data: t, Valid: temporal.All, Trans: temporal.All})
+	})
+}
+
+// Snapshot returns the current state; now is ignored, since a static
+// relation has no other state to offer.
+func (s *StaticStore) Snapshot(temporal.Chronon) []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, s.Len())
+	s.Scan(func(t tuple.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+func (s *StaticStore) lookup(key tuple.Tuple) (int, bool) {
+	for _, pos := range s.byKey.Lookup(key.Hash64()) {
+		if s.rows[pos] != nil && tuple.Equal(s.rows[pos].Key(s.sch), key) {
+			return pos, true
+		}
+	}
+	return 0, false
+}
+
+func (s *StaticStore) alloc(t tuple.Tuple) int {
+	if n := len(s.free); n > 0 {
+		pos := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.rows[pos] = t
+		return pos
+	}
+	s.rows = append(s.rows, t)
+	return len(s.rows) - 1
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tdb/internal/tuple"
+	"tdb/internal/value"
+	"tdb/temporal"
+)
+
+func TestStaticInsertGetScan(t *testing.T) {
+	s := NewStaticStore(facultySchema(t))
+	if s.Kind() != Static || s.Event() {
+		t.Fatal("kind/event wrong")
+	}
+	if err := s.Insert(fac("Merrie", "full")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(fac("Tom", "associate")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got, ok := s.Get(nameKey("Merrie"))
+	if !ok || got[1].Str() != "full" {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if _, ok := s.Get(nameKey("Ghost")); ok {
+		t.Fatal("Get on absent key must fail")
+	}
+	names := tupleNames(s.Snapshot(0))
+	if !equalStrings(names, []string{"Merrie", "Tom"}) {
+		t.Fatalf("Snapshot = %v", names)
+	}
+}
+
+func TestStaticDuplicateKey(t *testing.T) {
+	s := NewStaticStore(facultySchema(t))
+	if err := s.Insert(fac("Merrie", "full")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(fac("Merrie", "associate")); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+}
+
+func TestStaticSchemaViolations(t *testing.T) {
+	s := NewStaticStore(facultySchema(t))
+	if err := s.Insert(tuple.New(value.NewString("x"))); err == nil {
+		t.Error("short tuple must be rejected")
+	}
+	if err := s.Insert(tuple.New(value.NewInt(1), value.NewInt(2))); err == nil {
+		t.Error("mistyped tuple must be rejected")
+	}
+}
+
+func TestStaticDeleteForgets(t *testing.T) {
+	s := NewStaticStore(facultySchema(t))
+	if err := s.Insert(fac("Mike", "assistant")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(nameKey("Mike")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(nameKey("Mike")); !errors.Is(err, ErrNoSuchTuple) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// The slot is recycled: past states are discarded completely.
+	if err := s.Insert(fac("Anna", "full")); err != nil {
+		t.Fatal(err)
+	}
+	if got := tupleNames(s.Snapshot(0)); !equalStrings(got, []string{"Anna"}) {
+		t.Fatalf("Snapshot = %v", got)
+	}
+}
+
+func TestStaticReplace(t *testing.T) {
+	s := NewStaticStore(facultySchema(t))
+	if err := s.Insert(fac("Merrie", "associate")); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §4.1 update: Merrie promoted; old rank forgotten.
+	if err := s.Replace(nameKey("Merrie"), fac("Merrie", "full")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(nameKey("Merrie"))
+	if got[1].Str() != "full" {
+		t.Fatalf("rank = %v", got[1])
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if err := s.Replace(nameKey("Ghost"), fac("Ghost", "x")); !errors.Is(err, ErrNoSuchTuple) {
+		t.Fatalf("replace absent: %v", err)
+	}
+}
+
+func TestStaticReplaceChangingKey(t *testing.T) {
+	s := NewStaticStore(facultySchema(t))
+	if err := s.Insert(fac("Tom", "associate")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(fac("Mike", "assistant")); err != nil {
+		t.Fatal(err)
+	}
+	// Renaming Tom onto Mike's key must fail.
+	if err := s.Replace(nameKey("Tom"), fac("Mike", "full")); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("key collision: %v", err)
+	}
+	// Renaming onto a fresh key succeeds and reindexes.
+	if err := s.Replace(nameKey("Tom"), fac("Thomas", "full")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(nameKey("Tom")); ok {
+		t.Error("old key still resolves")
+	}
+	if got, ok := s.Get(nameKey("Thomas")); !ok || got[1].Str() != "full" {
+		t.Errorf("new key = %v, %v", got, ok)
+	}
+}
+
+func TestStaticVersionsUniversalStamps(t *testing.T) {
+	s := NewStaticStore(facultySchema(t))
+	if err := s.Insert(fac("Merrie", "full")); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	s.Versions(func(v Version) bool {
+		count++
+		if v.Valid != temporal.All || v.Trans != temporal.All {
+			t.Errorf("static version stamps = %v", v)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("version count = %d", count)
+	}
+}
+
+// TestStaticLimitations demonstrates §4.1: the four requests a static
+// database cannot express. Each would require information the static store
+// has already discarded or cannot represent.
+func TestStaticLimitations(t *testing.T) {
+	s := NewStaticStore(facultySchema(t))
+	// History: Merrie was associate, later promoted.
+	if err := s.Insert(fac("Merrie", "associate")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replace(nameKey("Merrie"), fac("Merrie", "full")); err != nil {
+		t.Fatal(err)
+	}
+
+	// (1) Historical query: "What was Merrie's rank 2 years ago?" — the
+	// previous rank is unrecoverable; only "full" remains.
+	got, _ := s.Get(nameKey("Merrie"))
+	if got[1].Str() != "full" {
+		t.Fatal("current state wrong")
+	}
+	ranks := map[string]bool{}
+	s.Scan(func(tp tuple.Tuple) bool {
+		ranks[tp[1].Str()] = true
+		return true
+	})
+	if ranks["associate"] {
+		t.Error("static store retained a past state; it must not")
+	}
+
+	// (2) Trend analysis: "How did the number of faculty change over the
+	// last 5 years?" — only one cardinality exists, the current one.
+	if len(s.Snapshot(0)) != 1 {
+		t.Error("exactly one state must exist")
+	}
+
+	// (3) Retroactive change: recording *when* the promotion took effect is
+	// impossible — the schema has no temporal attribute and the store
+	// accepts no valid time. The Replace signature itself (no time
+	// parameter) is the demonstration; nothing further to assert.
+
+	// (4) Postactive change: "James is joining next month" — inserting him
+	// makes him current immediately; the store cannot distinguish.
+	if err := s.Insert(fac("James", "assistant")); err != nil {
+		t.Fatal(err)
+	}
+	names := tupleNames(s.Snapshot(0))
+	if !equalStrings(names, []string{"James", "Merrie"}) {
+		t.Fatalf("James is visible now, not next month: %v", names)
+	}
+}

@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"errors"
+
+	"tdb/internal/core"
+	"tdb/temporal"
+)
+
+// LoadTemporal replays a history into a bitemporal store. Retractions of
+// absent periods are skipped, matching how an application would behave.
+func LoadTemporal(s *core.TemporalStore, events []Event) error {
+	for _, e := range events {
+		var err error
+		if e.Assert {
+			err = s.Assert(e.Tuple(), e.Valid, e.Commit)
+		} else {
+			err = s.Retract(e.Key(), e.Valid, e.Commit)
+			if errors.Is(err, core.ErrNoSuchTuple) {
+				err = nil
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadHistorical replays a history into a valid-time store, discarding the
+// commit times (a historical database has no transaction time to keep).
+func LoadHistorical(s *core.HistoricalStore, events []Event) error {
+	for _, e := range events {
+		var err error
+		if e.Assert {
+			err = s.Assert(e.Tuple(), e.Valid)
+		} else {
+			err = s.Retract(e.Key(), e.Valid)
+			if errors.Is(err, core.ErrNoSuchTuple) {
+				err = nil
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadRollback replays a history into a transaction-time store, reducing
+// each event to the current-state operation it implies (a rollback store
+// cannot represent valid time): assertion becomes insert-or-replace,
+// retraction becomes delete.
+func LoadRollback(s *core.RollbackStore, events []Event) error {
+	for _, e := range events {
+		var err error
+		if e.Assert {
+			err = s.Insert(e.Tuple(), e.Commit)
+			if errors.Is(err, core.ErrDuplicateKey) {
+				err = s.Replace(e.Key(), e.Tuple(), e.Commit)
+			}
+		} else {
+			err = s.Delete(e.Key(), e.Commit)
+			if errors.Is(err, core.ErrNoSuchTuple) {
+				err = nil
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCopyRollback replays a history into the naive full-copy rollback
+// representation, for the ablation benchmarks.
+func LoadCopyRollback(s *core.CopyRollbackStore, events []Event) error {
+	for _, e := range events {
+		var err error
+		if e.Assert {
+			err = s.Insert(e.Tuple(), e.Commit)
+			if errors.Is(err, core.ErrDuplicateKey) {
+				err = s.Replace(e.Key(), e.Tuple(), e.Commit)
+			}
+		} else {
+			err = s.Delete(e.Key(), e.Commit)
+			if errors.Is(err, core.ErrNoSuchTuple) {
+				err = nil
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadStatic replays a history into a snapshot store: only the final state
+// survives, demonstrating exactly what the paper says a static database
+// forgets.
+func LoadStatic(s *core.StaticStore, events []Event) error {
+	for _, e := range events {
+		var err error
+		if e.Assert {
+			err = s.Insert(e.Tuple())
+			if errors.Is(err, core.ErrDuplicateKey) {
+				err = s.Replace(e.Key(), e.Tuple())
+			}
+		} else {
+			err = s.Delete(e.Key())
+			if errors.Is(err, core.ErrNoSuchTuple) {
+				err = nil
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MidCommit returns the commit chronon halfway through the stream, a
+// convenient rollback probe.
+func MidCommit(events []Event) temporal.Chronon {
+	if len(events) == 0 {
+		return 0
+	}
+	return events[len(events)/2].Commit
+}

@@ -1,0 +1,157 @@
+package index
+
+import "math/rand"
+
+// SkipList is an ordered multimap from int64 keys to postings, used for
+// ordered attribute indexes and range scans. Duplicate keys are allowed;
+// each node holds the postings for one distinct key.
+//
+// A deterministic xorshift generator drives tower heights, so structures are
+// reproducible across runs (useful when comparing benchmark allocations).
+// SkipList is not safe for concurrent mutation.
+type SkipList struct {
+	head  *skipNode
+	level int
+	n     int
+	rng   rand.Source64
+}
+
+const maxLevel = 24
+
+type skipNode struct {
+	key   int64
+	posts []int
+	next  []*skipNode
+}
+
+// NewSkipList returns an empty skip list.
+func NewSkipList() *SkipList {
+	return &SkipList{
+		head:  &skipNode{next: make([]*skipNode, maxLevel)},
+		level: 1,
+		rng:   rand.NewSource(0x5eed).(rand.Source64),
+	}
+}
+
+// Len returns the number of postings stored.
+func (s *SkipList) Len() int { return s.n }
+
+// Add records pos under key.
+func (s *SkipList) Add(key int64, pos int) {
+	var update [maxLevel]*skipNode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if cand := x.next[0]; cand != nil && cand.key == key {
+		cand.posts = append(cand.posts, pos)
+		s.n++
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{key: key, posts: []int{pos}, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	s.n++
+}
+
+// Remove deletes one instance of pos under key, reporting whether it was
+// present. Nodes whose postings empty out are unlinked.
+func (s *SkipList) Remove(key int64, pos int) bool {
+	var update [maxLevel]*skipNode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	node := x.next[0]
+	if node == nil || node.key != key {
+		return false
+	}
+	found := false
+	for i, p := range node.posts {
+		if p == pos {
+			node.posts[i] = node.posts[len(node.posts)-1]
+			node.posts = node.posts[:len(node.posts)-1]
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	s.n--
+	if len(node.posts) == 0 {
+		for i := 0; i < s.level; i++ {
+			if update[i].next[i] == node {
+				update[i].next[i] = node.next[i]
+			}
+		}
+		for s.level > 1 && s.head.next[s.level-1] == nil {
+			s.level--
+		}
+	}
+	return true
+}
+
+// Lookup returns the postings under exactly key (aliases internals).
+func (s *SkipList) Lookup(key int64) []int {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	if cand := x.next[0]; cand != nil && cand.key == key {
+		return cand.posts
+	}
+	return nil
+}
+
+// Range calls fn for every (key, posting) with lo <= key < hi, in ascending
+// key order, stopping early if fn returns false.
+func (s *SkipList) Range(lo, hi int64, fn func(key int64, pos int) bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < lo {
+			x = x.next[i]
+		}
+	}
+	for node := x.next[0]; node != nil && node.key < hi; node = node.next[0] {
+		for _, p := range node.posts {
+			if !fn(node.key, p) {
+				return
+			}
+		}
+	}
+}
+
+// Min returns the smallest key present; ok is false when empty.
+func (s *SkipList) Min() (int64, bool) {
+	if n := s.head.next[0]; n != nil {
+		return n.key, true
+	}
+	return 0, false
+}
+
+func (s *SkipList) randomLevel() int {
+	lvl := 1
+	// P(level >= k) = 4^-(k-1): sparse towers, cheap memory.
+	for lvl < maxLevel && s.rng.Uint64()&3 == 0 {
+		lvl++
+	}
+	return lvl
+}

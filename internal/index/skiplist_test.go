@@ -1,0 +1,152 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSkipListBasics(t *testing.T) {
+	s := NewSkipList()
+	if _, ok := s.Min(); ok {
+		t.Error("empty list must have no Min")
+	}
+	s.Add(5, 50)
+	s.Add(3, 30)
+	s.Add(5, 51)
+	s.Add(9, 90)
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.Lookup(5); len(got) != 2 {
+		t.Errorf("Lookup(5) = %v", got)
+	}
+	if got := s.Lookup(4); got != nil {
+		t.Errorf("Lookup(4) = %v", got)
+	}
+	if m, ok := s.Min(); !ok || m != 3 {
+		t.Errorf("Min = %d, %v", m, ok)
+	}
+}
+
+func TestSkipListRangeOrdered(t *testing.T) {
+	s := NewSkipList()
+	for _, k := range []int64{9, 1, 5, 3, 7} {
+		s.Add(k, int(k*10))
+	}
+	var keys []int64
+	s.Range(2, 8, func(k int64, pos int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []int64{3, 5, 7}
+	if len(keys) != len(want) {
+		t.Fatalf("Range keys = %v", keys)
+	}
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("Range keys = %v, want %v", keys, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	s.Range(0, 100, func(int64, int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestSkipListRemove(t *testing.T) {
+	s := NewSkipList()
+	s.Add(4, 1)
+	s.Add(4, 2)
+	if !s.Remove(4, 1) {
+		t.Error("Remove present must succeed")
+	}
+	if s.Remove(4, 1) {
+		t.Error("Remove absent posting must fail")
+	}
+	if s.Remove(77, 0) {
+		t.Error("Remove absent key must fail")
+	}
+	if !s.Remove(4, 2) {
+		t.Error("Remove last posting must succeed")
+	}
+	if got := s.Lookup(4); got != nil {
+		t.Errorf("emptied key still present: %v", got)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+// Randomized cross-check against a reference map.
+func TestSkipListAgainstReference(t *testing.T) {
+	s := NewSkipList()
+	ref := map[int64][]int{}
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 4000; i++ {
+		k := int64(r.Intn(300))
+		switch r.Intn(3) {
+		case 0, 1: // add twice as often as remove
+			s.Add(k, i)
+			ref[k] = append(ref[k], i)
+		case 2:
+			if posts := ref[k]; len(posts) > 0 {
+				p := posts[r.Intn(len(posts))]
+				if !s.Remove(k, p) {
+					t.Fatalf("Remove(%d, %d) failed", k, p)
+				}
+				out := posts[:0]
+				for _, q := range posts {
+					if q != p {
+						out = append(out, q)
+					}
+				}
+				ref[k] = out
+			} else if s.Remove(k, 0) {
+				t.Fatalf("Remove on empty key %d succeeded", k)
+			}
+		}
+	}
+	wantLen := 0
+	var keys []int64
+	for k, posts := range ref {
+		wantLen += len(posts)
+		if len(posts) > 0 {
+			keys = append(keys, k)
+		}
+		got := s.Lookup(k)
+		if len(got) != len(posts) {
+			t.Fatalf("Lookup(%d) = %d postings, want %d", k, len(got), len(posts))
+		}
+	}
+	if s.Len() != wantLen {
+		t.Fatalf("Len = %d, want %d", s.Len(), wantLen)
+	}
+	// Full range must yield ascending keys covering every live key.
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var scanned []int64
+	last := int64(-1)
+	s.Range(0, 1000, func(k int64, pos int) bool {
+		if k < last {
+			t.Fatalf("Range out of order: %d after %d", k, last)
+		}
+		if k != last {
+			scanned = append(scanned, k)
+			last = k
+		}
+		return true
+	})
+	if len(scanned) != len(keys) {
+		t.Fatalf("Range saw %d distinct keys, want %d", len(scanned), len(keys))
+	}
+	for i := range keys {
+		if scanned[i] != keys[i] {
+			t.Fatalf("Range keys mismatch at %d: %d vs %d", i, scanned[i], keys[i])
+		}
+	}
+}

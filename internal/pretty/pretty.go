@@ -1,0 +1,87 @@
+// Package pretty renders relations in the paper's figure style: a boxed
+// table whose explicit attributes are separated from the DBMS-maintained
+// temporal columns by a double bar, as in Figures 4, 6, 8 and 9.
+package pretty
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a renderable grid. Columns left of Split are explicit attributes;
+// columns from Split onward are implicit temporal domains (rendered after a
+// double bar). Split <= 0 disables the bar.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Split   int
+}
+
+// Render writes the table to w.
+func (t Table) Render(w io.Writer) error {
+	cols := len(t.Headers)
+	widths := make([]int, cols)
+	for i, h := range t.Headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < cols {
+				if n := utf8.RuneCountInString(cell); n > widths[i] {
+					widths[i] = n
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRule := func() {
+		b.WriteByte('+')
+		for i, wd := range widths {
+			if t.Split > 0 && i == t.Split {
+				b.WriteByte('+')
+			}
+			b.WriteString(strings.Repeat("-", wd+2))
+			b.WriteByte('+')
+		}
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for i := 0; i < cols; i++ {
+			if t.Split > 0 && i == t.Split {
+				b.WriteByte('|')
+			}
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			pad := widths[i] - utf8.RuneCountInString(cell)
+			b.WriteString(" " + cell + strings.Repeat(" ", pad) + " |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRule()
+	writeRow(t.Headers)
+	writeRule()
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	writeRule()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package pretty
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tbl := Table{
+		Headers: []string{"name", "rank"},
+		Rows: [][]string{
+			{"Merrie", "full"},
+			{"Tom", "associate"},
+		},
+	}
+	out := tbl.String()
+	for _, want := range []string{"| name", "| rank", "| Merrie", "| associate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // rule, header, rule, 2 rows, rule
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	width := len(lines[0])
+	for i, l := range lines {
+		if len(l) != width {
+			t.Errorf("line %d width %d != %d:\n%s", i, len(l), width, out)
+		}
+	}
+}
+
+func TestRenderSplitDoubleBar(t *testing.T) {
+	tbl := Table{
+		Title:   "Figure 4",
+		Headers: []string{"name", "rank", "tt start", "tt end"},
+		Rows:    [][]string{{"Merrie", "associate", "08/25/77", "12/15/82"}},
+		Split:   2,
+	}
+	out := tbl.String()
+	if !strings.HasPrefix(out, "Figure 4\n") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	// The double bar: "||" between explicit and temporal columns.
+	if !strings.Contains(out, "||") {
+		t.Errorf("double bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "++") {
+		t.Errorf("rule double joint missing:\n%s", out)
+	}
+}
+
+func TestRenderHandlesWideUnicode(t *testing.T) {
+	tbl := Table{
+		Headers: []string{"to"},
+		Rows:    [][]string{{"∞"}, {"12/15/82"}},
+	}
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	w := len([]rune(lines[1]))
+	for i, l := range lines {
+		if len([]rune(l)) != w {
+			t.Errorf("rune width of line %d differs: %q", i, l)
+		}
+	}
+}
+
+func TestRenderShortRow(t *testing.T) {
+	tbl := Table{
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"only"}},
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "only") {
+		t.Errorf("short row lost: %s", out)
+	}
+}

@@ -1,0 +1,154 @@
+package schema
+
+import (
+	"testing"
+
+	"tdb/internal/value"
+)
+
+func facultySchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := New(
+		Attribute{Name: "name", Type: value.String},
+		Attribute{Name: "rank", Type: value.String},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty schema must be rejected")
+	}
+	if _, err := New(Attribute{Name: "", Type: value.Int}); err == nil {
+		t.Error("anonymous attribute must be rejected")
+	}
+	if _, err := New(Attribute{Name: "x"}); err == nil {
+		t.Error("untyped attribute must be rejected")
+	}
+	if _, err := New(
+		Attribute{Name: "x", Type: value.Int},
+		Attribute{Name: "x", Type: value.String},
+	); err == nil {
+		t.Error("duplicate attribute must be rejected")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew on empty schema must panic")
+		}
+	}()
+	MustNew()
+}
+
+func TestIndexAndAttr(t *testing.T) {
+	s := facultySchema(t)
+	if s.Arity() != 2 {
+		t.Fatalf("arity = %d", s.Arity())
+	}
+	if s.Index("rank") != 1 || s.Index("name") != 0 {
+		t.Error("Index lookups wrong")
+	}
+	if s.Index("salary") != -1 {
+		t.Error("missing attribute must index -1")
+	}
+	if s.Attr(1).Name != "rank" || s.Attr(1).Type != value.String {
+		t.Error("Attr(1) wrong")
+	}
+}
+
+func TestWithKey(t *testing.T) {
+	s := facultySchema(t)
+	if s.HasExplicitKey() {
+		t.Error("fresh schema must have no explicit key")
+	}
+	keyed, err := s.WithKey("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keyed.HasExplicitKey() {
+		t.Error("keyed schema must report an explicit key")
+	}
+	if ks := keyed.KeyIndices(); len(ks) != 1 || ks[0] != 0 {
+		t.Errorf("KeyIndices = %v", ks)
+	}
+	// Original untouched.
+	if s.HasExplicitKey() {
+		t.Error("WithKey must not mutate the receiver")
+	}
+	if _, err := s.WithKey("salary"); err == nil {
+		t.Error("unknown key attribute must be rejected")
+	}
+	if _, err := s.WithKey("name", "name"); err == nil {
+		t.Error("duplicate key attribute must be rejected")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := facultySchema(t)
+	p, err := s.Project([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arity() != 1 || p.Attr(0).Name != "rank" {
+		t.Errorf("projected schema = %v", p)
+	}
+	if _, err := s.Project([]int{5}); err == nil {
+		t.Error("out-of-range projection must error")
+	}
+	// Reordering projection.
+	p2, err := s.Project([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Attr(0).Name != "rank" || p2.Attr(1).Name != "name" {
+		t.Error("projection must preserve requested order")
+	}
+}
+
+func TestConcatQualifiesCollisions(t *testing.T) {
+	s := facultySchema(t)
+	c, err := Concat(s, s, "f1", "f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arity() != 4 {
+		t.Fatalf("arity = %d", c.Arity())
+	}
+	if c.Index("f1.name") != 0 || c.Index("f2.rank") != 3 {
+		t.Errorf("qualified names missing: %v", c)
+	}
+	// Non-colliding names stay bare.
+	other := MustNew(Attribute{Name: "salary", Type: value.Int})
+	c2, err := Concat(s, other, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Index("salary") != 2 || c2.Index("name") != 0 {
+		t.Errorf("non-colliding names must stay bare: %v", c2)
+	}
+}
+
+func TestEqualIgnoresKey(t *testing.T) {
+	a := facultySchema(t)
+	b := facultySchema(t)
+	keyed, _ := b.WithKey("name")
+	if !a.Equal(keyed) {
+		t.Error("Equal must ignore keys")
+	}
+	other := MustNew(Attribute{Name: "name", Type: value.String})
+	if a.Equal(other) {
+		t.Error("different arity must not be equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := facultySchema(t)
+	if got := s.String(); got != "(name = string, rank = string)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,62 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec for values, used by the write-ahead log and snapshot files in
+// internal/wal. Layout: one kind byte, then a kind-specific payload; strings
+// are uvarint-length-prefixed UTF-8.
+
+// AppendBinary appends the encoded value to dst and returns the extended
+// slice.
+func (v Value) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case Int, Bool, Instant:
+		dst = binary.AppendVarint(dst, v.i)
+	case Float:
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case String:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// DecodeBinary decodes one value from the front of src, returning the value
+// and the number of bytes consumed.
+func DecodeBinary(src []byte) (Value, int, error) {
+	if len(src) == 0 {
+		return Value{}, 0, fmt.Errorf("value: decoding from empty buffer")
+	}
+	k := Kind(src[0])
+	rest := src[1:]
+	switch k {
+	case Int, Bool, Instant:
+		i, n := binary.Varint(rest)
+		if n <= 0 {
+			return Value{}, 0, fmt.Errorf("value: corrupt varint payload for %s", k)
+		}
+		return Value{kind: k, i: i}, 1 + n, nil
+	case Float:
+		if len(rest) < 8 {
+			return Value{}, 0, fmt.Errorf("value: short float payload")
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(rest))
+		return NewFloat(f), 9, nil
+	case String:
+		l, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Value{}, 0, fmt.Errorf("value: corrupt string length")
+		}
+		if uint64(len(rest)-n) < l {
+			return Value{}, 0, fmt.Errorf("value: short string payload (want %d bytes)", l)
+		}
+		return NewString(string(rest[n : n+int(l)])), 1 + n + int(l), nil
+	default:
+		return Value{}, 0, fmt.Errorf("value: unknown kind byte %d", src[0])
+	}
+}

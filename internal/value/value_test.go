@@ -1,0 +1,264 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdb/temporal"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if NewInt(42).Int() != 42 {
+		t.Error("Int round trip")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float round trip")
+	}
+	if NewString("full").Str() != "full" {
+		t.Error("String round trip")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool round trip")
+	}
+	c := temporal.Date(1982, 12, 1)
+	if NewInstant(c).Instant() != c {
+		t.Error("Instant round trip")
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Str() on Int must panic")
+		}
+	}()
+	NewInt(1).Str()
+}
+
+func TestZeroValueInvalid(t *testing.T) {
+	var v Value
+	if v.IsValid() || v.Kind() != Invalid {
+		t.Error("zero Value must be Invalid")
+	}
+	if v.String() != "<invalid>" {
+		t.Errorf("invalid String() = %q", v.String())
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	cases := map[string]Kind{
+		"int": Int, "i4": Int, "INTEGER": Int,
+		"float": Float, "f8": Float,
+		"string": String, "c": String, "varchar": String,
+		"bool": Bool, "date": Instant, "instant": Instant, "event": Instant,
+	}
+	for name, want := range cases {
+		got, err := KindOf(name)
+		if err != nil || got != want {
+			t.Errorf("KindOf(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := KindOf("blob"); err == nil {
+		t.Error("unknown type must error")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewFloat(2.5), -1},
+		{NewString("associate"), NewString("full"), -1},
+		{NewString("full"), NewString("full"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewInstant(10), NewInstant(20), -1},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := Compare(NewInt(1), NewString("x")); err == nil {
+		t.Error("cross-kind comparison must error")
+	}
+	if _, err := Compare(Value{}, Value{}); err == nil {
+		t.Error("invalid comparison must error")
+	}
+}
+
+func TestCompareNaNTotalOrder(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	one := NewFloat(1)
+	if c, _ := Compare(nan, one); c != 1 {
+		t.Error("NaN must order after numbers")
+	}
+	if c, _ := Compare(one, nan); c != -1 {
+		t.Error("numbers must order before NaN")
+	}
+	if c, _ := Compare(nan, nan); c != 0 {
+		t.Error("NaN must compare equal to NaN for ordering purposes")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(NewString("a"), NewString("a")) {
+		t.Error("equal strings")
+	}
+	if Equal(NewInt(1), NewFloat(1)) {
+		t.Error("cross-kind values are never equal")
+	}
+}
+
+func TestHash64Stability(t *testing.T) {
+	a, b := NewString("Merrie"), NewString("Merrie")
+	if a.Hash64() != b.Hash64() {
+		t.Error("equal values must hash equal")
+	}
+	if NewInt(5).Hash64() == NewInstant(5).Hash64() {
+		t.Error("kind must participate in the hash")
+	}
+	if NewString("").Hash64() == NewString("\x00").Hash64() {
+		t.Error("distinct strings must (practically) hash distinct")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"42":       NewInt(42),
+		"2.5":      NewFloat(2.5),
+		"full":     NewString("full"),
+		"true":     NewBool(true),
+		"12/01/82": NewInstant(temporal.Date(1982, 12, 1)),
+		"∞":        NewInstant(temporal.Forever),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", v.Kind(), got, want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	v, err := Parse(Int, " 42 ")
+	if err != nil || v.Int() != 42 {
+		t.Errorf("Parse int: %v, %v", v, err)
+	}
+	v, err = Parse(Float, "2.5")
+	if err != nil || v.Float() != 2.5 {
+		t.Errorf("Parse float: %v, %v", v, err)
+	}
+	v, err = Parse(Instant, "12/01/82")
+	if err != nil || v.Instant() != temporal.Date(1982, 12, 1) {
+		t.Errorf("Parse instant: %v, %v", v, err)
+	}
+	v, err = Parse(Bool, "true")
+	if err != nil || !v.Bool() {
+		t.Errorf("Parse bool: %v, %v", v, err)
+	}
+	if _, err := Parse(Int, "forty"); err == nil {
+		t.Error("bad int must error")
+	}
+	if _, err := Parse(Invalid, "x"); err == nil {
+		t.Error("parse into Invalid must error")
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return NewInt(r.Int63() - r.Int63())
+	case 1:
+		return NewFloat(r.NormFloat64() * 1e6)
+	case 2:
+		buf := make([]byte, r.Intn(20))
+		r.Read(buf)
+		return NewString(string(buf))
+	case 3:
+		return NewBool(r.Intn(2) == 0)
+	default:
+		return NewInstant(temporal.Chronon(r.Int63n(1 << 40)))
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		v := randomValue(r)
+		enc := v.AppendBinary(nil)
+		dec, n, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", v, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+		}
+		if !Equal(v, dec) {
+			t.Fatalf("round trip: %v -> %v", v, dec)
+		}
+	}
+}
+
+func TestBinaryRoundTripConcatenated(t *testing.T) {
+	vals := []Value{NewInt(-7), NewString("Merrie"), NewBool(true),
+		NewInstant(temporal.Forever), NewFloat(1.25)}
+	var buf []byte
+	for _, v := range vals {
+		buf = v.AppendBinary(buf)
+	}
+	for _, want := range vals {
+		got, n, err := DecodeBinary(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, want) {
+			t.Fatalf("decoded %v, want %v", got, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Errorf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestDecodeBinaryErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,                     // empty
+		{byte(Float), 1, 2},     // short float
+		{byte(String), 0x85},    // corrupt length varint (non-terminated)
+		{byte(String), 10, 'a'}, // short string payload
+		{200},                   // unknown kind
+	}
+	for _, src := range cases {
+		if _, _, err := DecodeBinary(src); err == nil {
+			t.Errorf("DecodeBinary(% x): expected error", src)
+		}
+	}
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		x, y, z := NewInt(a), NewInt(b), NewInt(c)
+		cxy, _ := Compare(x, y)
+		cyx, _ := Compare(y, x)
+		if cxy != -cyx {
+			return false
+		}
+		// Transitivity on a sample: x<=y and y<=z implies x<=z.
+		cyz, _ := Compare(y, z)
+		cxz, _ := Compare(x, z)
+		if cxy <= 0 && cyz <= 0 && cxz > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tdb/internal/tuple"
+	"tdb/internal/value"
+	"tdb/temporal"
+)
+
+func benchRecord() Record {
+	return Record{
+		Commit: temporal.Date(1982, 12, 15),
+		Ops: []Op{
+			{Code: OpAssert, Rel: "faculty",
+				Tuple: tuple.New(value.NewString("Merrie"), value.NewString("full")),
+				Valid: temporal.Since(temporal.Date(1982, 12, 1))},
+		},
+	}
+}
+
+func BenchmarkEncodeRecord(b *testing.B) {
+	rec := benchRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeRecord(rec)
+	}
+}
+
+func BenchmarkDecodeRecord(b *testing.B) {
+	enc := EncodeRecord(benchRecord())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRecord(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendNoSync(b *testing.B) {
+	l, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := benchRecord()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendSync(b *testing.B) {
+	l, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{Sync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := benchRecord()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	l, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := benchRecord()
+	for i := 0; i < 10000; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	l.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Replay(path, false, func(Record) error { return nil })
+		if err != nil || res.Records != 10000 {
+			b.Fatalf("%+v, %v", res, err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"tdb/internal/core"
+	"tdb/internal/schema"
+	"tdb/internal/tuple"
+	"tdb/temporal"
+)
+
+// Snapshot is a checkpoint of a whole database: every relation with every
+// stored version (including superseded ones — append-only history must
+// survive checkpointing). Records counts how many WAL records the snapshot
+// covers, so recovery can skip exactly that prefix when a crash leaves the
+// old log beside a fresh snapshot.
+type Snapshot struct {
+	LastCommit temporal.Chronon
+	Records    int
+	Relations  []RelationSnapshot
+}
+
+// RelationSnapshot is one relation's definition and contents.
+type RelationSnapshot struct {
+	Name     string
+	Kind     core.Kind
+	Event    bool
+	Schema   *schema.Schema
+	Versions []core.Version
+}
+
+var snapMagic = []byte("TDBSNAP1")
+
+// ErrSnapshotCorrupt reports a snapshot failing its checksum or structure.
+var ErrSnapshotCorrupt = errors.New("wal: snapshot corrupt")
+
+// EncodeSnapshot serializes a snapshot (magic + payload + CRC trailer).
+func EncodeSnapshot(s Snapshot) []byte {
+	payload := appendChronon(nil, s.LastCommit)
+	payload = binary.AppendUvarint(payload, uint64(s.Records))
+	payload = binary.AppendUvarint(payload, uint64(len(s.Relations)))
+	for _, r := range s.Relations {
+		payload = appendString(payload, r.Name)
+		payload = append(payload, byte(r.Kind))
+		if r.Event {
+			payload = append(payload, 1)
+		} else {
+			payload = append(payload, 0)
+		}
+		payload = appendSchema(payload, r.Schema)
+		payload = binary.AppendUvarint(payload, uint64(len(r.Versions)))
+		for _, v := range r.Versions {
+			payload = v.Data.AppendBinary(payload)
+			payload = appendInterval(payload, v.Valid)
+			payload = appendInterval(payload, v.Trans)
+		}
+	}
+	out := make([]byte, 0, len(snapMagic)+len(payload)+4)
+	out = append(out, snapMagic...)
+	out = append(out, payload...)
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+}
+
+// DecodeSnapshot parses an encoded snapshot, verifying magic and CRC.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if len(data) < len(snapMagic)+4 {
+		return s, fmt.Errorf("%w: short file", ErrSnapshotCorrupt)
+	}
+	if string(data[:len(snapMagic)]) != string(snapMagic) {
+		return s, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	payload := data[len(snapMagic) : len(data)-4]
+	sum := binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, crcTable) != sum {
+		return s, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	last, off, err := decodeChronon(payload)
+	if err != nil {
+		return s, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	s.LastCommit = last
+	records, n := binary.Uvarint(payload[off:])
+	if n <= 0 {
+		return s, fmt.Errorf("%w: record count", ErrSnapshotCorrupt)
+	}
+	off += n
+	s.Records = int(records)
+	nRels, n := binary.Uvarint(payload[off:])
+	if n <= 0 {
+		return s, fmt.Errorf("%w: relation count", ErrSnapshotCorrupt)
+	}
+	off += n
+	for i := uint64(0); i < nRels; i++ {
+		var r RelationSnapshot
+		name, n, err := decodeString(payload[off:])
+		if err != nil {
+			return s, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		r.Name = name
+		off += n
+		if off+2 > len(payload) {
+			return s, fmt.Errorf("%w: short relation header", ErrSnapshotCorrupt)
+		}
+		r.Kind = core.Kind(payload[off])
+		r.Event = payload[off+1] == 1
+		off += 2
+		sch, n, err := decodeSchema(payload[off:])
+		if err != nil {
+			return s, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		r.Schema = sch
+		off += n
+		nVers, n := binary.Uvarint(payload[off:])
+		if n <= 0 {
+			return s, fmt.Errorf("%w: version count", ErrSnapshotCorrupt)
+		}
+		off += n
+		r.Versions = make([]core.Version, 0, nVers)
+		for j := uint64(0); j < nVers; j++ {
+			var v core.Version
+			tup, n, err := decodeTupleRaw(payload[off:])
+			if err != nil {
+				return s, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+			}
+			v.Data = tup
+			off += n
+			if v.Valid, n, err = decodeInterval(payload[off:]); err != nil {
+				return s, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+			}
+			off += n
+			if v.Trans, n, err = decodeInterval(payload[off:]); err != nil {
+				return s, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+			}
+			off += n
+			r.Versions = append(r.Versions, v)
+		}
+		s.Relations = append(s.Relations, r)
+	}
+	if off != len(payload) {
+		return s, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(payload)-off)
+	}
+	return s, nil
+}
+
+// WriteSnapshot atomically writes the snapshot to path: a temp file in the
+// same directory, fsynced, then renamed over the destination.
+func WriteSnapshot(path string, s Snapshot) error {
+	data := EncodeSnapshot(s)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a snapshot; a missing file returns ok=false with no
+// error, and a corrupt file returns ErrSnapshotCorrupt (recovery then falls
+// back to full log replay).
+func ReadSnapshot(path string) (Snapshot, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return Snapshot{}, false, nil
+		}
+		return Snapshot{}, false, fmt.Errorf("wal: snapshot read: %w", err)
+	}
+	s, err := DecodeSnapshot(data)
+	if err != nil {
+		return Snapshot{}, false, err
+	}
+	return s, true, nil
+}
+
+// decodeTupleRaw decodes a tuple without the presence byte used by op
+// encoding (snapshot versions always have data).
+func decodeTupleRaw(src []byte) (tuple.Tuple, int, error) {
+	return tuple.DecodeBinary(src)
+}

@@ -1,0 +1,311 @@
+package tdb
+
+import (
+	"fmt"
+
+	"tdb/internal/algebra"
+	"tdb/internal/pretty"
+	"tdb/temporal"
+)
+
+// Query is a fluent read query over one relation. The temporal clauses
+// mirror TQuel's:
+//
+//   - AsOf(t): rollback — view the relation as stored at transaction time t
+//     (rollback and temporal kinds only)
+//   - When(iv): keep versions whose valid period overlaps iv
+//   - At(t): keep versions valid at instant t (a one-chronon When)
+//   - Where(pred): ordinary attribute predicate
+//   - Coalesce(): merge value-equivalent versions over adjacent periods
+//
+// Run materializes the result; results are themselves relations and can be
+// joined with Join.
+type Query struct {
+	rel      *Relation
+	asOf     temporal.Chronon
+	hasAsOf  bool
+	when     temporal.Interval
+	hasWhen  bool
+	at       temporal.Chronon
+	hasAt    bool
+	where    []func(Tuple) (bool, error)
+	eq       map[string]Value // attribute -> value, from WhereEq
+	coalesce bool
+}
+
+// Query starts a query over the relation.
+func (r *Relation) Query() *Query { return &Query{rel: r} }
+
+// AsOf sets the rollback instant (transaction time).
+func (q *Query) AsOf(t temporal.Chronon) *Query {
+	q.asOf, q.hasAsOf = t, true
+	return q
+}
+
+// When keeps versions whose valid period overlaps iv.
+func (q *Query) When(iv temporal.Interval) *Query {
+	q.when, q.hasWhen = iv, true
+	return q
+}
+
+// At keeps versions valid at instant t.
+func (q *Query) At(t temporal.Chronon) *Query {
+	q.at, q.hasAt = t, true
+	return q
+}
+
+// Where adds an attribute predicate; multiple predicates conjoin.
+func (q *Query) Where(pred func(Tuple) (bool, error)) *Query {
+	q.where = append(q.where, pred)
+	return q
+}
+
+// WhereEq adds an equality predicate on the named attribute. When the
+// equality predicates cover the relation's key, Run answers through the
+// key index instead of scanning (see BenchmarkKeyLookupVsScan).
+func (q *Query) WhereEq(attr string, v Value) *Query {
+	if q.eq == nil {
+		q.eq = make(map[string]Value)
+	}
+	q.eq[attr] = v
+	idx := q.rel.Schema().Index(attr)
+	return q.Where(func(t Tuple) (bool, error) {
+		if idx < 0 {
+			return false, fmt.Errorf("tdb: no attribute %q in %s", attr, q.rel.Name())
+		}
+		c, err := compareValues(t[idx], v)
+		return err == nil && c == 0, err
+	})
+}
+
+// keyLookup attempts the key-index fast path: when the WhereEq predicates
+// cover every key attribute and no rollback instant is requested, the
+// matching versions come straight from the key index. Returns nil, false
+// when the fast path does not apply (Run then falls back to a scan).
+func (q *Query) keyLookup() (*algebra.Relation, bool) {
+	sch := q.rel.Schema()
+	if q.hasAsOf || !sch.HasExplicitKey() || len(q.eq) == 0 {
+		return nil, false
+	}
+	keyIdx := sch.KeyIndices()
+	keyVals := make([]Value, 0, len(keyIdx))
+	for _, ki := range keyIdx {
+		v, ok := q.eq[sch.Attr(ki).Name]
+		if !ok {
+			return nil, false
+		}
+		keyVals = append(keyVals, v)
+	}
+	key := NewTuple(keyVals...)
+	rel := &algebra.Relation{Schema: sch, Event: q.rel.Event()}
+	switch q.rel.Kind() {
+	case Static:
+		st, _ := q.rel.rel.Static()
+		if t, ok := st.Get(key); ok {
+			rel.Rows = append(rel.Rows, algebra.Row{Data: t, Valid: temporal.All})
+		}
+	case StaticRollback:
+		st, _ := q.rel.rel.Rollback()
+		if t, ok := st.Get(key); ok {
+			rel.Rows = append(rel.Rows, algebra.Row{Data: t, Valid: temporal.All})
+		}
+	case Historical:
+		st, _ := q.rel.rel.Historical()
+		for _, v := range st.History(key) {
+			rel.Rows = append(rel.Rows, algebra.Row{Data: v.Data, Valid: v.Valid})
+		}
+	case Temporal:
+		st, _ := q.rel.rel.Temporal()
+		for _, v := range st.History(key) {
+			rel.Rows = append(rel.Rows, algebra.Row{Data: v.Data, Valid: v.Valid})
+		}
+	default:
+		return nil, false
+	}
+	return rel, true
+}
+
+// Coalesce merges value-equivalent versions over overlapping or adjacent
+// valid periods in the result.
+func (q *Query) Coalesce() *Query {
+	q.coalesce = true
+	return q
+}
+
+// Run executes the query and materializes the result.
+func (q *Query) Run() (*Result, error) {
+	db := q.rel.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	st := q.rel.rel.Store()
+	if q.hasAsOf && !st.Kind().SupportsRollback() {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNoRollback, q.rel.Name(), st.Kind())
+	}
+	if (q.hasWhen || q.hasAt) && !st.Kind().SupportsHistorical() {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNoValidTime, q.rel.Name(), st.Kind())
+	}
+	rel, fast := q.keyLookup()
+	if !fast {
+		var err error
+		rel, err = algebra.Scan(st, q.asOf, q.hasAsOf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	if q.hasWhen {
+		rel = algebra.When(rel, q.when)
+	}
+	if q.hasAt {
+		rel = algebra.TimeSlice(rel, q.at)
+	}
+	for _, pred := range q.where {
+		rel, err = algebra.Select(rel, func(row algebra.Row) (bool, error) {
+			return pred(row.Data)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.coalesce {
+		rel = algebra.Coalesce(rel)
+	}
+	algebra.SortRows(rel)
+	return &Result{rel: rel}, nil
+}
+
+// Result is a materialized derived relation. It is itself a relation: it
+// can be inspected row by row, rendered as a table, or joined with another
+// result.
+type Result struct {
+	rel *algebra.Relation
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.rel.Rows) }
+
+// Schema returns the result schema.
+func (r *Result) Schema() *Schema { return r.rel.Schema }
+
+// Row returns the i-th row's data and valid period.
+func (r *Result) Row(i int) (Tuple, temporal.Interval) {
+	row := r.rel.Rows[i]
+	return row.Data, row.Valid
+}
+
+// Tuples returns the data of every row.
+func (r *Result) Tuples() []Tuple {
+	out := make([]Tuple, len(r.rel.Rows))
+	for i, row := range r.rel.Rows {
+		out[i] = row.Data
+	}
+	return out
+}
+
+// Project returns the result restricted to the named attributes.
+func (r *Result) Project(attrs ...string) (*Result, error) {
+	indices := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		i := r.rel.Schema.Index(a)
+		if i < 0 {
+			return nil, fmt.Errorf("tdb: no attribute %q in result", a)
+		}
+		indices = append(indices, i)
+	}
+	rel, err := algebra.Project(r.rel, indices)
+	if err != nil {
+		return nil, err
+	}
+	algebra.SortRows(rel)
+	return &Result{rel: rel}, nil
+}
+
+// Where filters the result rows by an attribute predicate.
+func (r *Result) Where(pred func(Tuple) (bool, error)) (*Result, error) {
+	rel, err := algebra.Select(r.rel, func(row algebra.Row) (bool, error) {
+		return pred(row.Data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{rel: rel}, nil
+}
+
+// Coalesce returns the result with value-equivalent rows merged over
+// overlapping or adjacent valid periods.
+func (r *Result) Coalesce() *Result {
+	rel := algebra.Coalesce(r.rel)
+	algebra.SortRows(rel)
+	return &Result{rel: rel}
+}
+
+// String renders the result in the paper's table style, with the implicit
+// valid-time columns after a double bar (omitted for relations without
+// valid time).
+func (r *Result) String() string {
+	hasValid := false
+	for _, row := range r.rel.Rows {
+		if row.Valid != temporal.All {
+			hasValid = true
+			break
+		}
+	}
+	sch := r.rel.Schema
+	headers := make([]string, 0, sch.Arity()+2)
+	for i := 0; i < sch.Arity(); i++ {
+		headers = append(headers, sch.Attr(i).Name)
+	}
+	split := 0
+	if hasValid {
+		split = len(headers)
+		if r.rel.Event {
+			headers = append(headers, "valid at")
+		} else {
+			headers = append(headers, "valid from", "valid to")
+		}
+	}
+	tbl := pretty.Table{Headers: headers, Split: split}
+	for _, row := range r.rel.Rows {
+		cells := make([]string, 0, len(headers))
+		for _, v := range row.Data {
+			cells = append(cells, v.String())
+		}
+		if hasValid {
+			if r.rel.Event {
+				cells = append(cells, row.Valid.From.String())
+			} else {
+				cells = append(cells, row.Valid.From.String(), row.Valid.To.String())
+			}
+		}
+		tbl.Rows = append(tbl.Rows, cells)
+	}
+	return tbl.String()
+}
+
+// Join combines two results: tuples concatenate (colliding attribute names
+// are qualified with the given prefixes), derived valid periods are the
+// intersections of the operands', and rows whose combined data fail the
+// optional on predicate are dropped.
+func Join(a, b *Result, aPrefix, bPrefix string, on func(Tuple) (bool, error)) (*Result, error) {
+	rel, err := algebra.Product(a.rel, b.rel, aPrefix, bPrefix)
+	if err != nil {
+		return nil, err
+	}
+	if on != nil {
+		rel, err = algebra.Select(rel, func(row algebra.Row) (bool, error) {
+			return on(row.Data)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	algebra.SortRows(rel)
+	return &Result{rel: rel}, nil
+}
+
+func compareValues(a, b Value) (int, error) {
+	return valueCompare(a, b)
+}

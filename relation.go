@@ -1,0 +1,292 @@
+package tdb
+
+import (
+	"fmt"
+
+	"tdb/internal/catalog"
+	"tdb/internal/core"
+	"tdb/temporal"
+)
+
+// Relation is a handle to a named relation. Mutation methods run each
+// operation in its own transaction; group operations with DB.Update when
+// several must commit atomically. Query methods are read-only and may run
+// concurrently with each other.
+type Relation struct {
+	db  *DB
+	rel *catalog.Relation
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.rel.Name() }
+
+// Kind returns the relation's taxonomy kind.
+func (r *Relation) Kind() Kind { return r.rel.Kind() }
+
+// Event reports whether this is an event relation.
+func (r *Relation) Event() bool { return r.rel.Event() }
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() *Schema { return r.rel.Schema() }
+
+// Insert adds a tuple to a static or rollback relation (one-op
+// transaction).
+func (r *Relation) Insert(t Tuple) error {
+	return r.db.Update(func(tx *Tx) error {
+		h, err := tx.Rel(r.Name())
+		if err != nil {
+			return err
+		}
+		return h.Insert(t)
+	})
+}
+
+// Delete removes the keyed tuple from a static or rollback relation.
+func (r *Relation) Delete(key Tuple) error {
+	return r.db.Update(func(tx *Tx) error {
+		h, err := tx.Rel(r.Name())
+		if err != nil {
+			return err
+		}
+		return h.Delete(key)
+	})
+}
+
+// Replace substitutes the keyed tuple in a static or rollback relation.
+func (r *Relation) Replace(key, t Tuple) error {
+	return r.db.Update(func(tx *Tx) error {
+		h, err := tx.Rel(r.Name())
+		if err != nil {
+			return err
+		}
+		return h.Replace(key, t)
+	})
+}
+
+// Assert records that t held over [from, to) in a historical or temporal
+// relation.
+func (r *Relation) Assert(t Tuple, from, to temporal.Chronon) error {
+	return r.db.Update(func(tx *Tx) error {
+		h, err := tx.Rel(r.Name())
+		if err != nil {
+			return err
+		}
+		return h.Assert(t, from, to)
+	})
+}
+
+// Retract records that nothing with the given key held over [from, to).
+func (r *Relation) Retract(key Tuple, from, to temporal.Chronon) error {
+	return r.db.Update(func(tx *Tx) error {
+		h, err := tx.Rel(r.Name())
+		if err != nil {
+			return err
+		}
+		return h.Retract(key, from, to)
+	})
+}
+
+// AssertAt records an event occurrence at the given instant.
+func (r *Relation) AssertAt(t Tuple, at temporal.Chronon) error {
+	return r.db.Update(func(tx *Tx) error {
+		h, err := tx.Rel(r.Name())
+		if err != nil {
+			return err
+		}
+		return h.AssertAt(t, at)
+	})
+}
+
+// RetractAt withdraws the keyed event at the given instant.
+func (r *Relation) RetractAt(key Tuple, at temporal.Chronon) error {
+	return r.db.Update(func(tx *Tx) error {
+		h, err := tx.Rel(r.Name())
+		if err != nil {
+			return err
+		}
+		return h.RetractAt(key, at)
+	})
+}
+
+// Get returns the current tuple with the given key in a static or rollback
+// relation.
+func (r *Relation) Get(key Tuple) (Tuple, bool, error) {
+	r.db.mu.RLock()
+	defer r.db.mu.RUnlock()
+	switch r.Kind() {
+	case Static:
+		st, _ := r.rel.Static()
+		t, ok := st.Get(key)
+		return t, ok, nil
+	case StaticRollback:
+		st, _ := r.rel.Rollback()
+		t, ok := st.Get(key)
+		return t, ok, nil
+	default:
+		return nil, false, ErrKindMismatch
+	}
+}
+
+// History returns the currently believed versions for the key, in valid
+// order, for historical and temporal relations.
+func (r *Relation) History(key Tuple) ([]Version, error) {
+	r.db.mu.RLock()
+	defer r.db.mu.RUnlock()
+	switch r.Kind() {
+	case Historical:
+		st, _ := r.rel.Historical()
+		return st.History(key), nil
+	case Temporal:
+		st, _ := r.rel.Temporal()
+		return st.History(key), nil
+	default:
+		return nil, ErrNoValidTime
+	}
+}
+
+// AuditTrail returns every version ever stored for the key, superseded
+// ones included, in storage (commit) order — the full accountability record
+// a temporal relation keeps: who believed what about this entity, and when
+// each belief was adopted and abandoned. Only rollback-capable kinds retain
+// such a record.
+func (r *Relation) AuditTrail(key Tuple) ([]Version, error) {
+	r.db.mu.RLock()
+	defer r.db.mu.RUnlock()
+	if !r.Kind().SupportsRollback() {
+		return nil, ErrNoRollback
+	}
+	sch := r.rel.Schema()
+	var out []Version
+	r.rel.Store().Versions(func(v Version) bool {
+		if TupleEqual(v.Data.Key(sch), key) {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// Versions returns every stored version of the relation, including (for
+// rollback and temporal kinds) superseded ones — the raw contents shown in
+// the paper's figures.
+func (r *Relation) Versions() []Version {
+	r.db.mu.RLock()
+	defer r.db.mu.RUnlock()
+	var out []Version
+	r.rel.Store().Versions(func(v Version) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// VersionCount returns the total number of stored versions.
+func (r *Relation) VersionCount() int {
+	return len(r.Versions())
+}
+
+// VisibleVersions returns the versions a query sees: the current belief
+// when hasAsOf is false, or the state as of transaction time asOf when true
+// (an error for kinds without transaction time). Each version carries both
+// its valid and transaction periods, with the universal interval standing
+// in for axes the kind does not record. This is the primitive the TQuel
+// executor binds range variables to.
+func (r *Relation) VisibleVersions(asOf temporal.Chronon, hasAsOf bool) ([]Version, error) {
+	r.db.mu.RLock()
+	defer r.db.mu.RUnlock()
+	st := r.rel.Store()
+	if hasAsOf && !st.Kind().SupportsRollback() {
+		return nil, ErrNoRollback
+	}
+	var out []Version
+	switch s := st.(type) {
+	case *core.RollbackStore:
+		probe := temporal.Forever - 1
+		if hasAsOf {
+			probe = asOf
+		}
+		st.Versions(func(v Version) bool {
+			if v.Trans.Contains(probe) {
+				out = append(out, v)
+			}
+			return true
+		})
+		_ = s
+	case *core.TemporalStore:
+		if !hasAsOf {
+			asOf = temporal.Forever - 1
+		}
+		out = s.AsOf(asOf)
+	default:
+		// Static and historical: current belief, already the only state.
+		st.Versions(func(v Version) bool {
+			out = append(out, v)
+			return true
+		})
+	}
+	return out, nil
+}
+
+// VersionsDuring returns every version that belonged to some believed
+// database state during the transaction-time window [from, through]
+// (inclusive of both rollback instants) — TQuel's "as of E1 through E2".
+// Only rollback-capable kinds support it.
+func (r *Relation) VersionsDuring(from, through temporal.Chronon) ([]Version, error) {
+	r.db.mu.RLock()
+	defer r.db.mu.RUnlock()
+	window, err := temporal.MakeInterval(from, through.Next())
+	if err != nil {
+		return nil, fmt.Errorf("tdb: as-of window inverted: [%v, %v]", from, through)
+	}
+	switch s := r.rel.Store().(type) {
+	case *core.RollbackStore:
+		return s.During(window), nil
+	case *core.TemporalStore:
+		return s.During(window), nil
+	default:
+		return nil, ErrNoRollback
+	}
+}
+
+// CountAt returns the number of tuples valid at instant t according to
+// current belief — the primitive behind trend analysis ("how did the number
+// of faculty change over the last 5 years?").
+func (r *Relation) CountAt(t temporal.Chronon) (int, error) {
+	res, err := r.Query().At(t).Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Len(), nil
+}
+
+// SeriesPoint is one bucket of a trend series.
+type SeriesPoint struct {
+	// Bucket is the calendar granule.
+	Bucket temporal.Interval
+	// Count is the number of tuples valid at the bucket's start according
+	// to current belief.
+	Count int
+}
+
+// Series answers the paper's trend-analysis question as a time series: the
+// tuple count valid at the start of each calendar granule in [from, to).
+// It requires a kind with valid time.
+func (r *Relation) Series(from, to temporal.Chronon, g temporal.Granularity) ([]SeriesPoint, error) {
+	if !r.Kind().SupportsHistorical() {
+		return nil, ErrNoValidTime
+	}
+	iv, err := temporal.MakeInterval(from, to)
+	if err != nil {
+		return nil, err
+	}
+	buckets := iv.Buckets(g)
+	out := make([]SeriesPoint, 0, len(buckets))
+	for _, b := range buckets {
+		n, err := r.CountAt(b.From)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SeriesPoint{Bucket: b, Count: n})
+	}
+	return out, nil
+}

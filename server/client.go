@@ -1,0 +1,64 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a connection to a tdbd server. It is not safe for concurrent
+// use: the protocol is strictly request/response per connection (open one
+// client per goroutine).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects to a tdbd server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a bound on connection establishment.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// Exec sends TQuel source and returns the server's response. A non-nil
+// error means the transport failed; execution errors arrive in
+// Response.Error with the connection still usable.
+func (c *Client) Exec(src string) (*Response, error) {
+	line, err := encodeLine(Request{Src: src})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.w.Write(line); err != nil {
+		return nil, fmt.Errorf("server: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, fmt.Errorf("server: send: %w", err)
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return nil, fmt.Errorf("server: receive: %w", err)
+		}
+		return nil, fmt.Errorf("server: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.r.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("server: malformed response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,56 @@
+// Package server exposes a temporal database over TCP with a newline-
+// delimited JSON protocol, plus the matching client. Each connection gets
+// its own TQuel session, so range-variable declarations persist for the
+// life of the connection, as in an interactive Quel terminal.
+//
+// Wire format: one JSON object per line in each direction.
+//
+//	-> {"src": "range of f is faculty retrieve (f.rank)"}
+//	<- {"outcomes": [{"stmt": "range", "msg": "..."},
+//	                 {"stmt": "retrieve", "table": "...", "rows": 2}]}
+//
+// Errors are reported per request: {"error": "tquel: 1:10: ..."}; the
+// connection stays usable.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Request is one client message: TQuel source to execute.
+type Request struct {
+	Src string `json:"src"`
+}
+
+// Outcome mirrors tquel.Outcome for the wire.
+type Outcome struct {
+	// Stmt is the statement kind ("retrieve", "create", ...).
+	Stmt string `json:"stmt"`
+	// Msg is the status line for non-retrieve statements.
+	Msg string `json:"msg,omitempty"`
+	// Table is the rendered resultset for retrieve statements.
+	Table string `json:"table,omitempty"`
+	// Rows is the resultset cardinality for retrieve statements.
+	Rows int `json:"rows"`
+}
+
+// Response is one server message.
+type Response struct {
+	Outcomes []Outcome `json:"outcomes,omitempty"`
+	// Error is set when execution failed; outcomes of statements that
+	// succeeded before the failure are still included.
+	Error string `json:"error,omitempty"`
+}
+
+// maxLine bounds a single protocol line (1 MiB): statements and rendered
+// tables are small; anything larger is a protocol violation.
+const maxLine = 1 << 20
+
+func encodeLine(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding: %w", err)
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+
+	"tdb"
+	"tdb/tquel"
+)
+
+// Server serves TQuel over TCP. All connections share one database; the
+// database's own locking serializes updates.
+type Server struct {
+	db     *tdb.DB
+	logger *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates a server over an open database. A nil logger discards
+// diagnostics.
+func New(db *tdb.DB, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	return &Server{db: db, logger: logger, conns: make(map[net.Conn]struct{})}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Serve accepts connections until the listener is closed (by Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		// Close raced ahead of Serve; shut the listener and report a clean
+		// stop, matching Close-after-Serve behavior.
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the listening address once Serve has been called.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to drain. The database itself is not closed; the caller owns it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	ses := tquel.NewSession(s.db)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(strings.TrimSpace(string(line))) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = fmt.Sprintf("malformed request: %v", err)
+		} else {
+			outs, err := ses.Exec(req.Src)
+			for _, o := range outs {
+				wire := Outcome{Stmt: o.Stmt, Msg: o.Msg}
+				if o.Result != nil {
+					wire.Table = o.Result.String()
+					wire.Rows = o.Result.Len()
+					wire.Msg = ""
+				}
+				resp.Outcomes = append(resp.Outcomes, wire)
+			}
+			if err != nil {
+				resp.Error = err.Error()
+			}
+		}
+		out, err := encodeLine(resp)
+		if err != nil {
+			s.logger.Printf("encoding response: %v", err)
+			return
+		}
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+		s.logger.Printf("connection read: %v", err)
+	}
+}

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tdb"
+	"tdb/temporal"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	db, err := tdb.Open("", tdb.Options{Clock: temporal.NewTickingClock(temporal.Date(1985, 1, 1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := New(db, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve returned %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Close")
+		}
+	})
+	return srv, l.Addr().String()
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Exec(`
+		create temporal relation faculty (name = string, rank = string) key (name)
+		range of f is faculty
+		append to faculty (name = "Merrie", rank = "associate") valid from "09/01/77" to forever
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("exec error: %s", resp.Error)
+	}
+	if len(resp.Outcomes) != 3 {
+		t.Fatalf("outcomes = %+v", resp.Outcomes)
+	}
+	if resp.Outcomes[0].Stmt != "create" || resp.Outcomes[2].Stmt != "append" {
+		t.Errorf("outcome kinds = %+v", resp.Outcomes)
+	}
+
+	resp, err = c.Exec(`retrieve (f.name, f.rank)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("query error: %s", resp.Error)
+	}
+	out := resp.Outcomes[0]
+	if out.Rows != 1 || !strings.Contains(out.Table, "Merrie") {
+		t.Fatalf("retrieve outcome = %+v", out)
+	}
+}
+
+func TestSessionStatePerConnection(t *testing.T) {
+	_, addr := startServer(t)
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	if resp, err := c1.Exec(`create static relation r (x = string)
+		range of v is r`); err != nil || resp.Error != "" {
+		t.Fatalf("%v / %+v", err, resp)
+	}
+	// c2 sees the relation (shared database) but not c1's range variable.
+	if resp, err := c2.Exec(`append to r (x = "hello")`); err != nil || resp.Error != "" {
+		t.Fatalf("%v / %+v", err, resp)
+	}
+	resp, err := c2.Exec(`retrieve (v.x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Fatal("c2 must not see c1's range variable")
+	}
+	// c1's variable still works, and sees c2's append.
+	resp, err = c1.Exec(`retrieve (v.x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" || resp.Outcomes[0].Rows != 1 {
+		t.Fatalf("c1 retrieve = %+v", resp)
+	}
+}
+
+func TestExecutionErrorKeepsConnectionUsable(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Exec(`retrieve (ghost.x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Fatal("expected execution error")
+	}
+	resp, err = c.Exec(`create static relation ok (x = int)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("connection unusable after error: %s", resp.Error)
+	}
+}
+
+func TestMalformedRequestReported(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "this is not json\n"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf[:n]), "malformed request") {
+		t.Fatalf("response = %s", buf[:n])
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	setup, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := setup.Exec(`create temporal relation log (client = string, seq = int) key (client, seq)`); err != nil || resp.Error != "" {
+		t.Fatalf("%v / %+v", err, resp)
+	}
+	setup.Close()
+
+	const clients, per = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < per; i++ {
+				src := fmt.Sprintf(`append to log (client = "c%d", seq = %d)`, g, i)
+				resp, err := c.Exec(src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Error != "" {
+					errs <- fmt.Errorf("exec: %s", resp.Error)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Exec(`range of l is log
+		retrieve (l.client, l.seq)`)
+	if err != nil || resp.Error != "" {
+		t.Fatalf("%v / %+v", err, resp)
+	}
+	if got := resp.Outcomes[len(resp.Outcomes)-1].Rows; got != clients*per {
+		t.Fatalf("rows = %d, want %d", got, clients*per)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("double close:", err)
+	}
+}
+
+func BenchmarkClientRoundTrip(b *testing.B) {
+	db, err := tdb.Open("", tdb.Options{Clock: temporal.NewTickingClock(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	srv := New(db, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if resp, err := c.Exec(`create static relation r (x = string)
+		range of v is r
+		append to r (x = "hello")`); err != nil || resp.Error != "" {
+		b.Fatalf("%v / %+v", err, resp)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Exec(`retrieve (v.x)`)
+		if err != nil || resp.Error != "" {
+			b.Fatalf("%v / %+v", err, resp)
+		}
+	}
+}
+
+func TestServerAddrAndListenAndServe(t *testing.T) {
+	db, err := tdb.Open("", tdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := New(db, nil)
+	if srv.Addr() != nil {
+		t.Error("Addr before Serve must be nil")
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	// Wait for the listener to come up.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("listener never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := c.Exec(`create static relation z (x = int)`); err != nil || resp.Error != "" {
+		t.Fatalf("%v / %+v", err, resp)
+	}
+	c.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ListenAndServe returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ListenAndServe did not return")
+	}
+	// Dialing an unserved address fails cleanly.
+	if _, err := DialTimeout("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Error("dial to closed port must fail")
+	}
+	// Listening on a malformed address fails cleanly.
+	srv2 := New(db, nil)
+	if err := srv2.ListenAndServe("not-an-address:xyz"); err == nil {
+		t.Error("bad listen address must fail")
+	}
+}

@@ -1,0 +1,126 @@
+package taxonomy
+
+import (
+	"fmt"
+	"strings"
+
+	"tdb/internal/pretty"
+)
+
+func yn(b bool) string {
+	if b {
+		return "Yes"
+	}
+	return "No"
+}
+
+func check(b bool) string {
+	if b {
+		return "v"
+	}
+	return ""
+}
+
+// RenderFigure1 reproduces Figure 1, "Types of Time".
+func RenderFigure1() string {
+	tbl := pretty.Table{
+		Title:   "Figure 1 : Types of Time",
+		Headers: []string{"Reference", "Terminology", "Append-Only", "Application Independent", "Representation vs. Reality"},
+	}
+	for _, r := range Figure1 {
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Reference, r.Terminology, r.AppendOnly, r.AppIndependent, r.Representation,
+		})
+	}
+	var b strings.Builder
+	b.WriteString(tbl.String())
+	b.WriteString("Notes:\n")
+	for _, n := range Figure1Notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}
+
+// RenderFigure10 reproduces Figure 10, "Types of Databases", from probed
+// (or, on probe failure, predicted) capabilities.
+func RenderFigure10(caps []Capabilities) string {
+	cell := func(historical, rollback bool) string {
+		for _, c := range caps {
+			if c.Historical == historical && c.Rollback == rollback {
+				return titleCase(c.Kind.String())
+			}
+		}
+		return "?"
+	}
+	tbl := pretty.Table{
+		Title:   "Figure 10 : Types of Databases",
+		Headers: []string{"", "No Rollback", "Rollback"},
+	}
+	tbl.Rows = append(tbl.Rows,
+		[]string{"Static Queries", cell(false, false), cell(false, true)},
+		[]string{"Historical Queries", cell(true, false), cell(true, true)},
+	)
+	return tbl.String()
+}
+
+// RenderFigure11 reproduces Figure 11, "Attributes of the New Kinds of
+// Databases": which time kinds each database kind carries. Following the
+// paper, user-defined time is marked for the kinds whose definition
+// includes it (historical and temporal databases "also incorporate
+// user-defined time").
+func RenderFigure11(caps []Capabilities) string {
+	tbl := pretty.Table{
+		Title:   "Figure 11 : Attributes of the New Kinds of Databases",
+		Headers: []string{"", "Transaction", "Valid", "User-defined"},
+	}
+	for _, c := range caps {
+		tr, va := c.TimeKinds()
+		tbl.Rows = append(tbl.Rows, []string{
+			titleCase(c.Kind.String()), check(tr), check(va), check(va),
+		})
+	}
+	return tbl.String()
+}
+
+// RenderFigure12 reproduces Figure 12, "Attributes of the New Kinds of
+// Time".
+func RenderFigure12() string {
+	tbl := pretty.Table{
+		Title:   "Figure 12 : Attributes of the New Kinds of Time",
+		Headers: []string{"Terminology", "Append-Only", "Application Independent", "Representation vs. Reality"},
+	}
+	for _, k := range []TimeKind{TransactionTime, ValidTime, UserDefinedTime} {
+		a := k.Attributes()
+		rr := "Reality"
+		if a.RepresentationNotReality {
+			rr = "Representation"
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			k.String(), yn(a.AppendOnly), yn(a.ApplicationIndependent), rr,
+		})
+	}
+	return tbl.String()
+}
+
+// RenderFigure13 reproduces Figure 13, "Time Support in Existing or
+// Proposed Systems".
+func RenderFigure13() string {
+	tbl := pretty.Table{
+		Title:   "Figure 13 : Time Support in Existing or Proposed Systems",
+		Headers: []string{"Reference", "System or Language", "Transaction Time", "Valid Time", "User-defined Time"},
+	}
+	for _, s := range Figure13 {
+		tbl.Rows = append(tbl.Rows, []string{
+			s.Reference, s.System, check(s.Transaction), check(s.Valid), check(s.UserDefined),
+		})
+	}
+	return tbl.String()
+}
+
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		words[i] = strings.ToUpper(w[:1]) + w[1:]
+	}
+	return strings.Join(words, " ")
+}

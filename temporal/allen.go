@@ -1,0 +1,171 @@
+package temporal
+
+// Relation enumerates Allen's thirteen basic relations between two nonempty
+// intervals (Allen 1983). Exactly one basic relation holds between any pair
+// of nonempty intervals; the TQuel predicates the paper uses ("overlap",
+// "precede") are disjunctions of these basic relations, exposed below as
+// predicate sets.
+type Relation uint8
+
+const (
+	// RelInvalid is returned when either operand is empty; the basic
+	// relations are defined only for nonempty intervals.
+	RelInvalid Relation = iota
+	// RelPrecedes: a ends strictly before b starts (a gap separates them).
+	RelPrecedes
+	// RelMeets: a ends exactly where b starts.
+	RelMeets
+	// RelOverlaps: a starts first, they share chronons, and b ends last.
+	RelOverlaps
+	// RelFinishedBy: a starts first and both end together.
+	RelFinishedBy
+	// RelContains: a strictly surrounds b.
+	RelContains
+	// RelStarts: both start together and a ends first.
+	RelStarts
+	// RelEquals: identical bounds.
+	RelEquals
+	// RelStartedBy: both start together and b ends first.
+	RelStartedBy
+	// RelDuring: b strictly surrounds a.
+	RelDuring
+	// RelFinishes: both end together and b starts first.
+	RelFinishes
+	// RelOverlappedBy: b starts first, they share chronons, and a ends last.
+	RelOverlappedBy
+	// RelMetBy: b ends exactly where a starts.
+	RelMetBy
+	// RelPrecededBy: b ends strictly before a starts.
+	RelPrecededBy
+)
+
+var relationNames = [...]string{
+	RelInvalid:      "invalid",
+	RelPrecedes:     "precedes",
+	RelMeets:        "meets",
+	RelOverlaps:     "overlaps",
+	RelFinishedBy:   "finished-by",
+	RelContains:     "contains",
+	RelStarts:       "starts",
+	RelEquals:       "equals",
+	RelStartedBy:    "started-by",
+	RelDuring:       "during",
+	RelFinishes:     "finishes",
+	RelOverlappedBy: "overlapped-by",
+	RelMetBy:        "met-by",
+	RelPrecededBy:   "preceded-by",
+}
+
+// String returns the conventional name of the relation.
+func (r Relation) String() string {
+	if int(r) < len(relationNames) {
+		return relationNames[r]
+	}
+	return "unknown"
+}
+
+// Inverse returns the relation that holds between (b, a) when r holds
+// between (a, b).
+func (r Relation) Inverse() Relation {
+	switch r {
+	case RelPrecedes:
+		return RelPrecededBy
+	case RelPrecededBy:
+		return RelPrecedes
+	case RelMeets:
+		return RelMetBy
+	case RelMetBy:
+		return RelMeets
+	case RelOverlaps:
+		return RelOverlappedBy
+	case RelOverlappedBy:
+		return RelOverlaps
+	case RelFinishedBy:
+		return RelFinishes
+	case RelFinishes:
+		return RelFinishedBy
+	case RelContains:
+		return RelDuring
+	case RelDuring:
+		return RelContains
+	case RelStarts:
+		return RelStartedBy
+	case RelStartedBy:
+		return RelStarts
+	default:
+		return r // RelEquals and RelInvalid are self-inverse
+	}
+}
+
+// Relate classifies the relationship between two nonempty intervals into
+// exactly one of Allen's thirteen basic relations. Empty operands yield
+// RelInvalid.
+func Relate(a, b Interval) Relation {
+	if a.IsEmpty() || b.IsEmpty() {
+		return RelInvalid
+	}
+	switch {
+	case a.To < b.From:
+		return RelPrecedes
+	case a.To == b.From:
+		return RelMeets
+	case b.To < a.From:
+		return RelPrecededBy
+	case b.To == a.From:
+		return RelMetBy
+	}
+	// The intervals overlap; classify by endpoint comparisons.
+	cs := a.From.Compare(b.From)
+	ce := a.To.Compare(b.To)
+	switch {
+	case cs == 0 && ce == 0:
+		return RelEquals
+	case cs == 0 && ce < 0:
+		return RelStarts
+	case cs == 0 && ce > 0:
+		return RelStartedBy
+	case ce == 0 && cs < 0:
+		return RelFinishedBy
+	case ce == 0 && cs > 0:
+		return RelFinishes
+	case cs < 0 && ce > 0:
+		return RelContains
+	case cs > 0 && ce < 0:
+		return RelDuring
+	case cs < 0: // and ce < 0
+		return RelOverlaps
+	default: // cs > 0 && ce > 0
+		return RelOverlappedBy
+	}
+}
+
+// RelationSet is a disjunction of basic relations, used to express the
+// coarse TQuel predicates.
+type RelationSet uint16
+
+// Has reports whether r is a member of the set.
+func (s RelationSet) Has(r Relation) bool { return s&(1<<r) != 0 }
+
+// NewRelationSet builds a set from its member relations.
+func NewRelationSet(rs ...Relation) RelationSet {
+	var s RelationSet
+	for _, r := range rs {
+		s |= 1 << r
+	}
+	return s
+}
+
+// OverlapSet is the disjunction of basic relations in which the operands
+// share at least one chronon — TQuel's "overlap".
+var OverlapSet = NewRelationSet(
+	RelOverlaps, RelOverlappedBy, RelFinishedBy, RelFinishes,
+	RelContains, RelDuring, RelStarts, RelStartedBy, RelEquals,
+)
+
+// PrecedeSet is the disjunction in which a ends no later than b starts —
+// TQuel's "precede".
+var PrecedeSet = NewRelationSet(RelPrecedes, RelMeets)
+
+// Satisfies reports whether the basic relation between a and b is a member
+// of the predicate set.
+func Satisfies(a, b Interval, s RelationSet) bool { return s.Has(Relate(a, b)) }

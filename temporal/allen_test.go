@@ -1,0 +1,121 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRelateBasicCases(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want Relation
+	}{
+		{iv(0, 5), iv(10, 20), RelPrecedes},
+		{iv(0, 10), iv(10, 20), RelMeets},
+		{iv(0, 15), iv(10, 20), RelOverlaps},
+		{iv(0, 20), iv(10, 20), RelFinishedBy},
+		{iv(0, 30), iv(10, 20), RelContains},
+		{iv(10, 15), iv(10, 20), RelStarts},
+		{iv(10, 20), iv(10, 20), RelEquals},
+		{iv(10, 30), iv(10, 20), RelStartedBy},
+		{iv(12, 18), iv(10, 20), RelDuring},
+		{iv(15, 20), iv(10, 20), RelFinishes},
+		{iv(15, 25), iv(10, 20), RelOverlappedBy},
+		{iv(20, 25), iv(10, 20), RelMetBy},
+		{iv(30, 40), iv(10, 20), RelPrecededBy},
+	}
+	for _, c := range cases {
+		if got := Relate(c.a, c.b); got != c.want {
+			t.Errorf("Relate(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRelateInvalidOnEmpty(t *testing.T) {
+	if Relate(iv(5, 5), iv(0, 10)) != RelInvalid {
+		t.Error("empty a must yield RelInvalid")
+	}
+	if Relate(iv(0, 10), iv(5, 5)) != RelInvalid {
+		t.Error("empty b must yield RelInvalid")
+	}
+}
+
+// Exactly one basic relation must hold between any pair of nonempty
+// intervals, and Relate(b, a) must be its inverse.
+func TestRelatePartitionAndInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	all := []Relation{
+		RelPrecedes, RelMeets, RelOverlaps, RelFinishedBy, RelContains,
+		RelStarts, RelEquals, RelStartedBy, RelDuring, RelFinishes,
+		RelOverlappedBy, RelMetBy, RelPrecededBy,
+	}
+	seen := map[Relation]bool{}
+	for trial := 0; trial < 3000; trial++ {
+		a1 := Chronon(r.Intn(12))
+		a2 := a1 + 1 + Chronon(r.Intn(12))
+		b1 := Chronon(r.Intn(12))
+		b2 := b1 + 1 + Chronon(r.Intn(12))
+		a, b := iv(a1, a2), iv(b1, b2)
+		rel := Relate(a, b)
+		if rel == RelInvalid {
+			t.Fatalf("Relate(%v, %v) invalid on nonempty operands", a, b)
+		}
+		seen[rel] = true
+		if inv := Relate(b, a); inv != rel.Inverse() {
+			t.Fatalf("Relate(%v, %v) = %v but Relate reversed = %v (want %v)",
+				a, b, rel, inv, rel.Inverse())
+		}
+		// Membership in OverlapSet must agree with Overlaps.
+		if OverlapSet.Has(rel) != a.Overlaps(b) {
+			t.Fatalf("OverlapSet disagrees with Overlaps for %v, %v (%v)", a, b, rel)
+		}
+		if PrecedeSet.Has(rel) != a.Precedes(b) {
+			t.Fatalf("PrecedeSet disagrees with Precedes for %v, %v (%v)", a, b, rel)
+		}
+	}
+	for _, rel := range all {
+		if !seen[rel] {
+			t.Errorf("random exploration never produced %v", rel)
+		}
+	}
+}
+
+func TestInverseIsInvolution(t *testing.T) {
+	for r := RelInvalid; r <= RelPrecededBy; r++ {
+		if r.Inverse().Inverse() != r {
+			t.Errorf("Inverse(Inverse(%v)) != %v", r, r)
+		}
+	}
+	if RelEquals.Inverse() != RelEquals {
+		t.Error("equals must be self-inverse")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if RelOverlaps.String() != "overlaps" || RelMetBy.String() != "met-by" {
+		t.Error("relation names wrong")
+	}
+	if Relation(200).String() != "unknown" {
+		t.Error("out-of-range relation must render unknown")
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	a, b := iv(0, 15), iv(10, 20)
+	if !Satisfies(a, b, OverlapSet) {
+		t.Error("overlapping intervals must satisfy OverlapSet")
+	}
+	if Satisfies(a, b, PrecedeSet) {
+		t.Error("overlapping intervals must not satisfy PrecedeSet")
+	}
+	if !Satisfies(iv(0, 10), iv(10, 20), PrecedeSet) {
+		t.Error("meeting intervals must satisfy PrecedeSet (half-open)")
+	}
+}
+
+func TestNewRelationSet(t *testing.T) {
+	s := NewRelationSet(RelMeets, RelEquals)
+	if !s.Has(RelMeets) || !s.Has(RelEquals) || s.Has(RelDuring) {
+		t.Error("RelationSet membership wrong")
+	}
+}

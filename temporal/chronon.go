@@ -1,0 +1,156 @@
+// Package temporal implements the time model underlying the taxonomy of
+// Snodgrass & Ahn ("A Taxonomy of Time in Databases", SIGMOD 1985): discrete
+// chronons, instants extended with ±infinity, half-open intervals, events,
+// Allen's thirteen interval relations, and the TQuel temporal predicates
+// (overlap, precede, extend, start of, end of).
+//
+// All three kinds of time identified by the paper — transaction time, valid
+// time and user-defined time — are represented with the same Chronon scalar;
+// their different semantics (append-only versus correctable, interpreted
+// versus uninterpreted) are enforced by the stores in internal/core, not by
+// the scalar itself.
+package temporal
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Chronon is a discrete instant: the number of seconds since the Unix epoch.
+// The paper models time as a discrete, totally ordered set of chronons; one
+// second is the granularity used throughout this implementation.
+//
+// Two sentinel values extend the line: Beginning (-∞) and Forever (+∞).
+// Forever is used as the open end of current versions ("to ∞" in the paper's
+// figures); Beginning as the open start of unbounded-past intervals.
+type Chronon int64
+
+const (
+	// Beginning is the instant before all others (-∞).
+	Beginning Chronon = math.MinInt64
+	// Forever is the instant after all others (+∞). A tuple whose
+	// transaction-time end is Forever is a current version; a tuple whose
+	// valid-time end is Forever is believed true indefinitely.
+	Forever Chronon = math.MaxInt64
+)
+
+// FromTime converts a wall-clock time to a Chronon, truncating sub-second
+// precision.
+func FromTime(t time.Time) Chronon { return Chronon(t.Unix()) }
+
+// Date returns the chronon at midnight UTC of the given calendar date.
+func Date(year int, month time.Month, day int) Chronon {
+	return FromTime(time.Date(year, month, day, 0, 0, 0, 0, time.UTC))
+}
+
+// Time converts the chronon back to a wall-clock time in UTC. It panics on
+// the sentinels Beginning and Forever, which have no calendar equivalent;
+// use IsFinite to guard.
+func (c Chronon) Time() time.Time {
+	if !c.IsFinite() {
+		panic("temporal: Time() called on infinite chronon")
+	}
+	return time.Unix(int64(c), 0).UTC()
+}
+
+// IsFinite reports whether c is an ordinary instant rather than ±∞.
+func (c Chronon) IsFinite() bool { return c != Beginning && c != Forever }
+
+// Before reports whether c is strictly earlier than o.
+func (c Chronon) Before(o Chronon) bool { return c < o }
+
+// After reports whether c is strictly later than o.
+func (c Chronon) After(o Chronon) bool { return c > o }
+
+// Compare returns -1, 0 or +1 as c is earlier than, equal to, or later
+// than o.
+func (c Chronon) Compare(o Chronon) int {
+	switch {
+	case c < o:
+		return -1
+	case c > o:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Add returns the chronon d seconds later, saturating at the sentinels: the
+// infinities absorb any displacement, and finite chronons clamp rather than
+// wrap on overflow.
+func (c Chronon) Add(d int64) Chronon {
+	if !c.IsFinite() {
+		return c
+	}
+	s := int64(c) + d
+	switch {
+	case d > 0 && s < int64(c): // overflow
+		return Forever - 1
+	case d < 0 && s > int64(c): // underflow
+		return Beginning + 1
+	}
+	r := Chronon(s)
+	if !r.IsFinite() { // landed exactly on a sentinel
+		if d > 0 {
+			return Forever - 1
+		}
+		return Beginning + 1
+	}
+	return r
+}
+
+// Next returns the immediately following chronon (saturating at ±∞).
+func (c Chronon) Next() Chronon { return c.Add(1) }
+
+// Prev returns the immediately preceding chronon (saturating at ±∞).
+func (c Chronon) Prev() Chronon { return c.Add(-1) }
+
+// Min returns the earlier of c and o.
+func (c Chronon) Min(o Chronon) Chronon {
+	if o < c {
+		return o
+	}
+	return c
+}
+
+// Max returns the later of c and o.
+func (c Chronon) Max(o Chronon) Chronon {
+	if o > c {
+		return o
+	}
+	return c
+}
+
+// String renders the chronon in the paper's figure style: MM/DD/YY for dates
+// that fall exactly on a UTC midnight, a full timestamp otherwise, and the
+// symbols ∞ / -∞ for the sentinels.
+func (c Chronon) String() string {
+	switch c {
+	case Forever:
+		return "∞"
+	case Beginning:
+		return "-∞"
+	}
+	t := c.Time()
+	if t.Hour() == 0 && t.Minute() == 0 && t.Second() == 0 {
+		return fmt.Sprintf("%02d/%02d/%02d", int(t.Month()), t.Day(), t.Year()%100)
+	}
+	return t.Format("01/02/06 15:04:05")
+}
+
+// ISO renders the chronon as an ISO-8601 date or timestamp, with "infinity"
+// and "-infinity" for the sentinels (the spellings PostgreSQL uses).
+func (c Chronon) ISO() string {
+	switch c {
+	case Forever:
+		return "infinity"
+	case Beginning:
+		return "-infinity"
+	}
+	t := c.Time()
+	if t.Hour() == 0 && t.Minute() == 0 && t.Second() == 0 {
+		return t.Format("2006-01-02")
+	}
+	return t.Format(time.RFC3339)
+}

@@ -1,0 +1,283 @@
+package tquel
+
+import (
+	"tdb"
+	"tdb/internal/value"
+)
+
+// Static analysis of a retrieve statement: every attribute reference must
+// resolve, every comparison must be between comparable kinds (with the
+// date-string and int/float coercions), boolean connectives must combine
+// predicates, and the when clause must be a temporal predicate rather than
+// a bare element. Running these checks before binding means errors surface
+// even on empty relations.
+
+// checkRetrieve validates the statement against the session's catalog.
+func (s *Session) checkRetrieve(n *RetrieveStmt) error {
+	for _, t := range n.Targets {
+		if _, err := s.checkExpr(t.Expr); err != nil {
+			return err
+		}
+		if a, ok := t.Expr.(*Agg); ok && containsAgg(a.Arg) {
+			return errf(a.Pos, "aggregates cannot nest")
+		}
+	}
+	if n.Where != nil {
+		if containsAgg(n.Where) {
+			return errf(n.Where.Position(), "aggregates are not allowed in the where clause")
+		}
+		if err := s.checkPred(n.Where); err != nil {
+			return err
+		}
+	}
+	if n.When != nil {
+		isPred, err := s.checkTemporal(n.When)
+		if err != nil {
+			return err
+		}
+		if !isPred {
+			return errf(n.When.Position(), "when clause needs a temporal predicate (overlap, precede, equal), not a bare event or interval")
+		}
+	}
+	for _, vc := range []*ValidClause{n.Valid} {
+		if vc == nil {
+			continue
+		}
+		for _, te := range []TemporalExpr{vc.At, vc.From, vc.To} {
+			if te == nil {
+				continue
+			}
+			isPred, err := s.checkTemporal(te)
+			if err != nil {
+				return err
+			}
+			if isPred {
+				return errf(te.Position(), "valid clause needs an event expression, not a predicate")
+			}
+		}
+	}
+	if n.AsOf != nil {
+		for _, te := range []TemporalExpr{n.AsOf.At, n.AsOf.Through} {
+			if te == nil {
+				continue
+			}
+			m := map[string]bool{}
+			temporalVars(te, m)
+			if len(m) > 0 {
+				return errf(te.Position(), "as of clause may not reference range variables")
+			}
+			isPred, err := s.checkTemporal(te)
+			if err != nil {
+				return err
+			}
+			if isPred {
+				return errf(te.Position(), "as of clause needs an event expression, not a predicate")
+			}
+		}
+	}
+	return nil
+}
+
+// checkExpr resolves and types a scalar expression.
+func (s *Session) checkExpr(e Expr) (tdb.ValueKind, error) {
+	switch n := e.(type) {
+	case *Lit:
+		return n.Value.Kind(), nil
+	case *AttrRef:
+		rel, err := s.resolveVar(n.Pos, n.Var)
+		if err != nil {
+			return 0, err
+		}
+		idx := rel.Schema().Index(n.Attr)
+		if idx < 0 {
+			return 0, errf(n.Pos, "relation %q has no attribute %q", rel.Name(), n.Attr)
+		}
+		return rel.Schema().Attr(idx).Type, nil
+	case *Cmp:
+		lk, err := s.checkExpr(n.L)
+		if err != nil {
+			return 0, err
+		}
+		rk, err := s.checkExpr(n.R)
+		if err != nil {
+			return 0, err
+		}
+		if !comparableKinds(lk, rk) {
+			return 0, errf(n.Pos, "cannot compare %s with %s", lk, rk)
+		}
+		return value.Bool, nil
+	case *BoolOp:
+		if err := s.checkPred(n.L); err != nil {
+			return 0, err
+		}
+		if n.R != nil {
+			if err := s.checkPred(n.R); err != nil {
+				return 0, err
+			}
+		}
+		return value.Bool, nil
+	case *Agg:
+		argKind, err := s.checkExpr(n.Arg)
+		if err != nil {
+			return 0, err
+		}
+		return aggResultKind(n, argKind)
+	default:
+		return 0, errf(e.Position(), "unsupported expression")
+	}
+}
+
+// aggResultKind types an aggregate call given its argument's kind.
+func aggResultKind(n *Agg, arg tdb.ValueKind) (tdb.ValueKind, error) {
+	numeric := arg == value.Int || arg == value.Float
+	switch n.Fn {
+	case "count":
+		return value.Int, nil
+	case "sum":
+		if !numeric {
+			return 0, errf(n.Pos, "sum needs a numeric argument, found %s", arg)
+		}
+		return arg, nil
+	case "avg":
+		if !numeric {
+			return 0, errf(n.Pos, "avg needs a numeric argument, found %s", arg)
+		}
+		return value.Float, nil
+	case "min", "max":
+		if arg == value.Bool {
+			return 0, errf(n.Pos, "%s is not defined on booleans", n.Fn)
+		}
+		return arg, nil
+	case "any":
+		if arg != value.Bool {
+			return 0, errf(n.Pos, "any needs a boolean argument, found %s", arg)
+		}
+		return value.Bool, nil
+	default:
+		return 0, errf(n.Pos, "unknown aggregate %q", n.Fn)
+	}
+}
+
+// containsAgg reports whether an aggregate call appears in the expression.
+func containsAgg(e Expr) bool {
+	switch n := e.(type) {
+	case *Agg:
+		return true
+	case *Cmp:
+		return containsAgg(n.L) || containsAgg(n.R)
+	case *BoolOp:
+		if containsAgg(n.L) {
+			return true
+		}
+		return n.R != nil && containsAgg(n.R)
+	default:
+		return false
+	}
+}
+
+// checkPred validates that an expression can serve as a predicate.
+func (s *Session) checkPred(e Expr) error {
+	k, err := s.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if k != value.Bool {
+		return errf(e.Position(), "expected a predicate, found a %s expression", k)
+	}
+	return nil
+}
+
+// comparableKinds mirrors the runtime coercions in evalCmp.
+func comparableKinds(a, b tdb.ValueKind) bool {
+	if a == b {
+		return a != value.Invalid
+	}
+	num := func(k tdb.ValueKind) bool { return k == value.Int || k == value.Float }
+	if num(a) && num(b) {
+		return true
+	}
+	// A string literal compares against an instant via date parsing.
+	if (a == value.Instant && b == value.String) || (a == value.String && b == value.Instant) {
+		return true
+	}
+	return false
+}
+
+// checkTemporal validates a temporal expression, returning whether it is a
+// predicate (true) or an element (false).
+func (s *Session) checkTemporal(e TemporalExpr) (bool, error) {
+	switch n := e.(type) {
+	case *VarInterval:
+		if _, err := s.resolveVar(n.Pos, n.Var); err != nil {
+			return false, err
+		}
+		return false, nil
+	case *TimeLit:
+		if n.Text != "now" && n.Text != "forever" && n.Text != "beginning" {
+			if _, err := resolveTimeLit(n, &env{}); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	case *StartOf:
+		isPred, err := s.checkTemporal(n.Of)
+		if err != nil {
+			return false, err
+		}
+		if isPred {
+			return false, errf(n.Pos, "start of needs an event or interval operand")
+		}
+		return false, nil
+	case *EndOf:
+		isPred, err := s.checkTemporal(n.Of)
+		if err != nil {
+			return false, err
+		}
+		if isPred {
+			return false, errf(n.Pos, "end of needs an event or interval operand")
+		}
+		return false, nil
+	case *Extend:
+		for _, op := range []TemporalExpr{n.L, n.R} {
+			isPred, err := s.checkTemporal(op)
+			if err != nil {
+				return false, err
+			}
+			if isPred {
+				return false, errf(n.Pos, "extend needs event or interval operands")
+			}
+		}
+		return false, nil
+	case *TempRel:
+		for _, op := range []TemporalExpr{n.L, n.R} {
+			isPred, err := s.checkTemporal(op)
+			if err != nil {
+				return false, err
+			}
+			if isPred {
+				return false, errf(n.Pos, "%s needs event or interval operands", n.Op)
+			}
+		}
+		return true, nil
+	case *TempBool:
+		isPred, err := s.checkTemporal(n.L)
+		if err != nil {
+			return false, err
+		}
+		if !isPred {
+			return false, errf(n.Pos, "%s combines predicates, found an element", n.Op)
+		}
+		if n.R != nil {
+			isPred, err = s.checkTemporal(n.R)
+			if err != nil {
+				return false, err
+			}
+			if !isPred {
+				return false, errf(n.Pos, "%s combines predicates, found an element", n.Op)
+			}
+		}
+		return true, nil
+	default:
+		return false, errf(e.Position(), "unsupported temporal expression")
+	}
+}

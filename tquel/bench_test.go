@@ -1,0 +1,95 @@
+package tquel
+
+import (
+	"testing"
+
+	"tdb"
+	"tdb/temporal"
+)
+
+func fac2(name, rank string) tdb.Tuple {
+	return tdb.NewTuple(tdb.String(name), tdb.String(rank))
+}
+
+const benchQuery = `
+	retrieve (f1.rank)
+	where f1.name = "Merrie" and f2.name = "Tom"
+	when f1 overlap start of f2
+	as of "12/10/82"
+`
+
+func BenchmarkLex(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lex(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecRetrieve(b *testing.B) {
+	ses := paperSession(b)
+	if _, err := ses.Exec("range of f1 is faculty\nrange of f2 is faculty"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ses.Query(benchQuery)
+		if err != nil || res.Len() != 1 {
+			b.Fatalf("%v, %v", res, err)
+		}
+	}
+}
+
+func BenchmarkExecAppend(b *testing.B) {
+	db := newDB(b)
+	ses := NewSession(db)
+	if _, err := ses.Exec(`create temporal relation r (name = string, rank = string)`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ses.Exec(`append to r (name = "x", rank = "y")`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalWhere(b *testing.B) {
+	stmts, err := Parse(`retrieve (f.rank) where f.name = "Merrie" and not f.rank = "full"`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := stmts[0].(*RetrieveStmt)
+	db := newDB(b)
+	ses := NewSession(db)
+	if _, err := ses.Exec(`create temporal relation faculty (name = string, rank = string)
+		range of f is faculty`); err != nil {
+		b.Fatal(err)
+	}
+	rel, err := db.Relation("faculty")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := &env{vars: map[string]*binding{
+		"f": {rel: rel, data: fac2("Merrie", "associate"),
+			valid: temporal.All, trans: temporal.All},
+	}}
+	_ = ses
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := evalPred(st.Where, ev)
+		if err != nil || !ok {
+			b.Fatalf("%v, %v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,738 @@
+package tquel
+
+import (
+	"errors"
+	"fmt"
+
+	"tdb"
+	"tdb/internal/value"
+	"tdb/temporal"
+)
+
+// Session executes TQuel statements against a database. Range variable
+// declarations persist across Exec calls, as in an interactive Quel
+// session. A Session is not safe for concurrent use; open one per client.
+type Session struct {
+	db     *tdb.DB
+	ranges map[string]string // variable -> relation name
+	now    func() temporal.Chronon
+}
+
+// NewSession opens a session on the database. The "now" spelling in
+// queries resolves via the system clock by default; override with SetNow
+// for deterministic replay.
+func NewSession(db *tdb.DB) *Session {
+	return &Session{
+		db:     db,
+		ranges: make(map[string]string),
+		now:    func() temporal.Chronon { return temporal.SystemClock{}.Now() },
+	}
+}
+
+// SetNow overrides the session's notion of the current instant ("now" in
+// queries). Update statements always use their transaction's commit
+// chronon instead.
+func (s *Session) SetNow(fn func() temporal.Chronon) { s.now = fn }
+
+// Exec parses and executes TQuel source, returning one outcome per
+// statement. Execution stops at the first failing statement.
+func (s *Session) Exec(src string) ([]*Outcome, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Outcome
+	for _, st := range stmts {
+		o, err := s.exec(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Query executes source that ends in a retrieve statement and returns that
+// retrieve's resultset.
+func (s *Session) Query(src string) (*Resultset, error) {
+	outs, err := s.Exec(src)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(outs) - 1; i >= 0; i-- {
+		if outs[i].Result != nil {
+			return outs[i].Result, nil
+		}
+	}
+	return nil, errors.New("tquel: source contains no retrieve statement")
+}
+
+func (s *Session) exec(st Stmt) (*Outcome, error) {
+	switch n := st.(type) {
+	case *CreateStmt:
+		return s.execCreate(n)
+	case *DestroyStmt:
+		if err := s.db.DropRelation(n.Name); err != nil {
+			return nil, errf(n.Pos, "%v", err)
+		}
+		return &Outcome{Stmt: "destroy", Msg: fmt.Sprintf("destroyed relation %s", n.Name)}, nil
+	case *RangeStmt:
+		if _, err := s.db.Relation(n.Rel); err != nil {
+			return nil, errf(n.Pos, "%v", err)
+		}
+		s.ranges[n.Var] = n.Rel
+		return &Outcome{Stmt: "range", Msg: fmt.Sprintf("range of %s is %s", n.Var, n.Rel)}, nil
+	case *RetrieveStmt:
+		return s.execRetrieve(n)
+	case *AppendStmt:
+		return s.execAppend(n)
+	case *DeleteStmt:
+		return s.execDelete(n)
+	case *ReplaceStmt:
+		return s.execReplace(n)
+	default:
+		return nil, fmt.Errorf("tquel: unhandled statement %T", st)
+	}
+}
+
+func (s *Session) execCreate(n *CreateStmt) (*Outcome, error) {
+	attrs := make([]tdb.Attribute, 0, len(n.Attrs))
+	for _, a := range n.Attrs {
+		attrs = append(attrs, tdb.Attr(a.Name, a.Type))
+	}
+	sch, err := tdb.NewSchema(attrs...)
+	if err != nil {
+		return nil, errf(n.Pos, "%v", err)
+	}
+	if len(n.Keys) > 0 {
+		if sch, err = sch.WithKey(n.Keys...); err != nil {
+			return nil, errf(n.Pos, "%v", err)
+		}
+	}
+	if n.Event {
+		_, err = s.db.CreateEventRelation(n.Name, n.Kind, sch)
+	} else {
+		_, err = s.db.CreateRelation(n.Name, n.Kind, sch)
+	}
+	if err != nil {
+		return nil, errf(n.Pos, "%v", err)
+	}
+	kind := n.Kind.String()
+	if n.Event {
+		kind += " event"
+	}
+	return &Outcome{Stmt: "create", Msg: fmt.Sprintf("created %s relation %s", kind, n.Name)}, nil
+}
+
+// resolveVar maps a range variable to its relation.
+func (s *Session) resolveVar(pos Pos, v string) (*tdb.Relation, error) {
+	relName, ok := s.ranges[v]
+	if !ok {
+		return nil, errf(pos, "range variable %q not declared (use: range of %s is <relation>)", v, v)
+	}
+	rel, err := s.db.Relation(relName)
+	if err != nil {
+		return nil, errf(pos, "%v", err)
+	}
+	return rel, nil
+}
+
+// usedVars collects, in deterministic first-use order, the range variables
+// a retrieve statement references.
+func retrieveVars(n *RetrieveStmt) []string {
+	seen := map[string]bool{}
+	var order []string
+	add := func(m map[string]bool) {
+		for v := range m {
+			if !seen[v] {
+				seen[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	for _, t := range n.Targets {
+		m := map[string]bool{}
+		exprVars(t.Expr, m)
+		add(m)
+	}
+	if n.Where != nil {
+		m := map[string]bool{}
+		exprVars(n.Where, m)
+		add(m)
+	}
+	if n.When != nil {
+		m := map[string]bool{}
+		temporalVars(n.When, m)
+		add(m)
+	}
+	if n.Valid != nil {
+		m := map[string]bool{}
+		for _, te := range []TemporalExpr{n.Valid.At, n.Valid.From, n.Valid.To} {
+			if te != nil {
+				temporalVars(te, m)
+			}
+		}
+		add(m)
+	}
+	return order
+}
+
+// targetVarSet collects the variables referenced in the target list; their
+// stamps determine the derived tuple's default stamps (this is what makes
+// the paper's Figure 6/8 answers carry f1's periods).
+func targetVarSet(n *RetrieveStmt) map[string]bool {
+	m := map[string]bool{}
+	for _, t := range n.Targets {
+		exprVars(t.Expr, m)
+	}
+	return m
+}
+
+func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
+	if err := s.checkRetrieve(n); err != nil {
+		return nil, err
+	}
+	ev := &env{vars: map[string]*binding{}, now: s.now()}
+
+	// Rollback instant(s): evaluated before binding any variables — the as
+	// of clause may not reference range variables. "as of E through E2"
+	// views the database across the whole transaction-time window: a
+	// version qualifies if it belonged to any believed state in [E, E2].
+	var asOf, through temporal.Chronon
+	hasAsOf, hasThrough := false, false
+	if n.AsOf != nil {
+		var err error
+		asOf, err = evalEvent(n.AsOf.At, ev)
+		if err != nil {
+			return nil, err
+		}
+		hasAsOf = true
+		if n.AsOf.Through != nil {
+			if through, err = evalEvent(n.AsOf.Through, ev); err != nil {
+				return nil, err
+			}
+			if through < asOf {
+				return nil, errf(n.AsOf.Pos, "as of window is inverted: %v through %v", asOf, through)
+			}
+			hasThrough = true
+		}
+	}
+
+	order := retrieveVars(n)
+	rels := make([]*tdb.Relation, len(order))
+	versions := make([][]tdb.Version, len(order))
+	res := &Resultset{}
+	for i, v := range order {
+		rel, err := s.resolveVar(n.Pos, v)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = rel
+		var vs []tdb.Version
+		if hasThrough {
+			vs, err = rel.VersionsDuring(asOf, through)
+		} else {
+			vs, err = rel.VisibleVersions(asOf, hasAsOf)
+		}
+		if err != nil {
+			return nil, errf(n.Pos, "%s: %v", rel.Name(), err)
+		}
+		versions[i] = vs
+		if rel.Kind().SupportsHistorical() {
+			res.HasValid = true
+		}
+		if rel.Kind().SupportsRollback() {
+			res.HasTrans = true
+		}
+	}
+	if n.Valid != nil {
+		res.HasValid = true
+		res.Event = n.Valid.At != nil
+	} else if len(order) == 1 && rels[0].Event() {
+		res.Event = true
+	}
+
+	// Result attribute names.
+	for i, t := range n.Targets {
+		name := t.Name
+		if name == "" {
+			switch e := t.Expr.(type) {
+			case *AttrRef:
+				name = e.Attr
+			case *Agg:
+				name = e.Fn
+			default:
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		res.Attrs = append(res.Attrs, name)
+	}
+
+	tvars := targetVarSet(n)
+	var agg *aggregator
+	if hasAggregates(n.Targets) {
+		agg = newAggregator(n.Targets)
+	}
+	var emit func(depth int) error
+	emit = func(depth int) error {
+		if depth < len(order) {
+			v := order[depth]
+			for _, ver := range versions[depth] {
+				ev.vars[v] = &binding{rel: rels[depth], data: ver.Data, valid: ver.Valid, trans: ver.Trans}
+				if err := emit(depth + 1); err != nil {
+					return err
+				}
+			}
+			delete(ev.vars, v)
+			return nil
+		}
+		// All variables bound: filter, stamp, project.
+		if n.Where != nil {
+			ok, err := evalPred(n.Where, ev)
+			if err != nil || !ok {
+				return err
+			}
+		}
+		if n.When != nil {
+			ok, err := evalTemporalPred(n.When, ev)
+			if err != nil || !ok {
+				return err
+			}
+		}
+		row := ResultRow{Valid: temporal.All, Trans: temporal.All}
+		// Derived valid period.
+		switch {
+		case n.Valid != nil && n.Valid.At != nil:
+			at, err := evalEvent(n.Valid.At, ev)
+			if err != nil {
+				return err
+			}
+			row.Valid = temporal.At(at)
+		case n.Valid != nil:
+			from, err := evalEvent(n.Valid.From, ev)
+			if err != nil {
+				return err
+			}
+			to, err := evalEvent(n.Valid.To, ev)
+			if err != nil {
+				return err
+			}
+			iv, err := temporal.MakeInterval(from, to)
+			if err != nil {
+				return errf(n.Valid.Pos, "valid period is inverted: [%v, %v)", from, to)
+			}
+			row.Valid = iv
+		default:
+			row.Valid = stampIntersection(ev, order, tvars, func(b *binding) temporal.Interval { return b.valid })
+		}
+		row.Trans = stampIntersection(ev, order, tvars, func(b *binding) temporal.Interval { return b.trans })
+		if row.Valid.IsEmpty() || row.Trans.IsEmpty() {
+			// The participating facts were never jointly valid/present.
+			return nil
+		}
+		if agg != nil {
+			return agg.add(ev, row.Valid, row.Trans)
+		}
+		for _, t := range n.Targets {
+			v, err := evalExpr(t.Expr, ev)
+			if err != nil {
+				return err
+			}
+			row.Data = append(row.Data, v)
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	}
+	if err := emit(0); err != nil {
+		return nil, err
+	}
+	if agg != nil {
+		if err := agg.finish(res); err != nil {
+			return nil, err
+		}
+	}
+	res.sortAndDedup()
+
+	if n.Into != "" {
+		if err := s.storeInto(n, res); err != nil {
+			return nil, err
+		}
+	}
+	return &Outcome{Stmt: "retrieve", Result: res,
+		Msg: fmt.Sprintf("%d tuple(s)", len(res.Rows))}, nil
+}
+
+// stampIntersection intersects the chosen stamp over the target-list
+// variables, falling back to all bound variables, then to the universal
+// interval.
+func stampIntersection(ev *env, order []string, tvars map[string]bool, get func(*binding) temporal.Interval) temporal.Interval {
+	pick := func(filter func(string) bool) (temporal.Interval, bool) {
+		iv := temporal.All
+		found := false
+		for _, v := range order {
+			if !filter(v) {
+				continue
+			}
+			b, ok := ev.vars[v]
+			if !ok {
+				continue
+			}
+			iv = iv.Intersect(get(b))
+			found = true
+		}
+		return iv, found
+	}
+	if iv, ok := pick(func(v string) bool { return tvars[v] }); ok {
+		return iv
+	}
+	iv, _ := pick(func(string) bool { return true })
+	return iv
+}
+
+// storeInto materializes a resultset as a new relation: historical when it
+// carries valid time (event or interval), static otherwise. Transaction
+// time cannot be stored — it is DBMS-assigned — so derived transaction
+// stamps are viewing information only, as in TQuel.
+func (s *Session) storeInto(n *RetrieveStmt, res *Resultset) error {
+	attrs := make([]tdb.Attribute, 0, len(res.Attrs))
+	types, err := targetTypes(s, n)
+	if err != nil {
+		return err
+	}
+	for i, name := range res.Attrs {
+		attrs = append(attrs, tdb.Attr(name, types[i]))
+	}
+	sch, err := tdb.NewSchema(attrs...)
+	if err != nil {
+		return errf(n.Pos, "result schema: %v", err)
+	}
+	var rel *tdb.Relation
+	if res.HasValid {
+		if res.Event {
+			rel, err = s.db.CreateEventRelation(n.Into, tdb.Historical, sch)
+		} else {
+			rel, err = s.db.CreateRelation(n.Into, tdb.Historical, sch)
+		}
+	} else {
+		rel, err = s.db.CreateRelation(n.Into, tdb.Static, sch)
+	}
+	if err != nil {
+		return errf(n.Pos, "%v", err)
+	}
+	return s.db.Update(func(tx *tdb.Tx) error {
+		h, err := tx.Rel(n.Into)
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			switch {
+			case !res.HasValid:
+				if err := h.Insert(row.Data); err != nil && !errors.Is(err, tdb.ErrDuplicateKey) {
+					return err
+				}
+			case res.Event:
+				if err := h.AssertAt(row.Data, row.Valid.From); err != nil {
+					return err
+				}
+			default:
+				if err := h.Assert(row.Data, row.Valid.From, row.Valid.To); err != nil {
+					return err
+				}
+			}
+		}
+		_ = rel
+		return nil
+	})
+}
+
+// targetTypes statically types the target list (shared with the analyzer).
+func targetTypes(s *Session, n *RetrieveStmt) ([]tdb.ValueKind, error) {
+	out := make([]tdb.ValueKind, 0, len(n.Targets))
+	for _, t := range n.Targets {
+		k, err := s.checkExpr(t.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// validRange resolves an optional valid clause to an interval, with the
+// supplied default.
+func validRange(vc *ValidClause, ev *env, def temporal.Interval) (temporal.Interval, bool, error) {
+	if vc == nil {
+		return def, false, nil
+	}
+	if vc.At != nil {
+		at, err := evalEvent(vc.At, ev)
+		if err != nil {
+			return def, false, err
+		}
+		return temporal.At(at), true, nil
+	}
+	from, err := evalEvent(vc.From, ev)
+	if err != nil {
+		return def, false, err
+	}
+	to, err := evalEvent(vc.To, ev)
+	if err != nil {
+		return def, false, err
+	}
+	iv, err := temporal.MakeInterval(from, to)
+	if err != nil {
+		return def, false, errf(vc.Pos, "valid period is inverted")
+	}
+	return iv, true, nil
+}
+
+func (s *Session) execAppend(n *AppendStmt) (*Outcome, error) {
+	rel, err := s.db.Relation(n.Rel)
+	if err != nil {
+		return nil, errf(n.Pos, "%v", err)
+	}
+	sch := rel.Schema()
+	err = s.db.Update(func(tx *tdb.Tx) error {
+		ev := &env{vars: map[string]*binding{}, now: tx.At()}
+		// Build the tuple in schema order; every attribute must be set.
+		vals := make([]tdb.Value, sch.Arity())
+		set := make([]bool, sch.Arity())
+		for _, sc := range n.Sets {
+			idx := sch.Index(sc.Attr)
+			if idx < 0 {
+				return errf(sc.Pos, "relation %q has no attribute %q", n.Rel, sc.Attr)
+			}
+			if set[idx] {
+				return errf(sc.Pos, "attribute %q set twice", sc.Attr)
+			}
+			v, err := evalExpr(sc.Expr, ev)
+			if err != nil {
+				return err
+			}
+			// Date spellings for instant attributes.
+			if sch.Attr(idx).Type == value.Instant && v.Kind() == value.String {
+				c, err := temporal.Parse(v.Str())
+				if err != nil {
+					return errf(sc.Pos, "cannot parse %q as a date", v.Str())
+				}
+				v = tdb.Instant(c)
+			}
+			vals[idx], set[idx] = v, true
+		}
+		for i, ok := range set {
+			if !ok {
+				return errf(n.Pos, "attribute %q not set", sch.Attr(i).Name)
+			}
+		}
+		tup := tdb.NewTuple(vals...)
+		h, err := tx.Rel(n.Rel)
+		if err != nil {
+			return err
+		}
+		switch {
+		case !rel.Kind().SupportsHistorical():
+			if n.Valid != nil {
+				return errf(n.Valid.Pos, "%s relations accept no valid clause", rel.Kind())
+			}
+			return h.Insert(tup)
+		case rel.Event():
+			at := tx.At()
+			if n.Valid != nil {
+				if n.Valid.At == nil {
+					return errf(n.Valid.Pos, "event relations need 'valid at'")
+				}
+				if at, err = evalEvent(n.Valid.At, ev); err != nil {
+					return err
+				}
+			}
+			return h.AssertAt(tup, at)
+		default:
+			iv, _, err := validRange(n.Valid, ev, temporal.Since(tx.At()))
+			if err != nil {
+				return err
+			}
+			return h.Assert(tup, iv.From, iv.To)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Stmt: "append", Msg: fmt.Sprintf("appended to %s", n.Rel)}, nil
+}
+
+// matchVersions binds the variable to each visible version and collects
+// those passing the where/when clauses.
+func (s *Session) matchVersions(pos Pos, v string, where Expr, when TemporalExpr, ev *env) (*tdb.Relation, []tdb.Version, error) {
+	rel, err := s.resolveVar(pos, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	versions, err := rel.VisibleVersions(0, false)
+	if err != nil {
+		return nil, nil, errf(pos, "%v", err)
+	}
+	var out []tdb.Version
+	for _, ver := range versions {
+		ev.vars[v] = &binding{rel: rel, data: ver.Data, valid: ver.Valid, trans: ver.Trans}
+		if where != nil {
+			ok, err := evalPred(where, ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if when != nil {
+			ok, err := evalTemporalPred(when, ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, ver)
+	}
+	delete(ev.vars, v)
+	return rel, out, nil
+}
+
+func (s *Session) execDelete(n *DeleteStmt) (*Outcome, error) {
+	count := 0
+	// Match against the current belief before opening the transaction:
+	// Update holds the database lock, and matching reads through the
+	// public (locking) query paths. The session serializes its own
+	// statements, so the snapshot cannot go stale between match and apply.
+	ev := &env{vars: map[string]*binding{}, now: s.now()}
+	rel, matches, err := s.matchVersions(n.Pos, n.Var, n.Where, n.When, ev)
+	if err != nil {
+		return nil, err
+	}
+	err = s.db.Update(func(tx *tdb.Tx) error {
+		ev.now = tx.At()
+		h, err := tx.Rel(rel.Name())
+		if err != nil {
+			return err
+		}
+		sch := rel.Schema()
+		seenKeys := map[string]bool{}
+		for _, ver := range matches {
+			key := ver.Data.Key(sch)
+			switch {
+			case !rel.Kind().SupportsHistorical():
+				if err := h.Delete(key); err != nil {
+					return err
+				}
+			case rel.Event():
+				if err := h.RetractAt(key, ver.Valid.From); err != nil {
+					return err
+				}
+			default:
+				ev.vars[n.Var] = &binding{rel: rel, data: ver.Data, valid: ver.Valid, trans: ver.Trans}
+				iv, explicit, err := validRange(n.Valid, ev, ver.Valid)
+				if err != nil {
+					return err
+				}
+				delete(ev.vars, n.Var)
+				if explicit {
+					// With an explicit range, retract once per key.
+					k := key.String()
+					if seenKeys[k] {
+						continue
+					}
+					seenKeys[k] = true
+				}
+				if err := h.Retract(key, iv.From, iv.To); err != nil &&
+					!errors.Is(err, tdb.ErrNoSuchTuple) {
+					return err
+				}
+			}
+			count++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Stmt: "delete", Msg: fmt.Sprintf("%d tuple(s) deleted", count)}, nil
+}
+
+func (s *Session) execReplace(n *ReplaceStmt) (*Outcome, error) {
+	count := 0
+	// Match before the transaction for the same locking reason as delete.
+	ev := &env{vars: map[string]*binding{}, now: s.now()}
+	rel, matches, err := s.matchVersions(n.Pos, n.Var, n.Where, n.When, ev)
+	if err != nil {
+		return nil, err
+	}
+	err = s.db.Update(func(tx *tdb.Tx) error {
+		ev.now = tx.At()
+		h, err := tx.Rel(rel.Name())
+		if err != nil {
+			return err
+		}
+		sch := rel.Schema()
+		for _, ver := range matches {
+			// Sets may reference the variable (rank = f.rank): bind it.
+			ev.vars[n.Var] = &binding{rel: rel, data: ver.Data, valid: ver.Valid, trans: ver.Trans}
+			newData := ver.Data.Clone()
+			for _, sc := range n.Sets {
+				idx := sch.Index(sc.Attr)
+				if idx < 0 {
+					return errf(sc.Pos, "relation %q has no attribute %q", rel.Name(), sc.Attr)
+				}
+				v, err := evalExpr(sc.Expr, ev)
+				if err != nil {
+					return err
+				}
+				if sch.Attr(idx).Type == value.Instant && v.Kind() == value.String {
+					c, err := temporal.Parse(v.Str())
+					if err != nil {
+						return errf(sc.Pos, "cannot parse %q as a date", v.Str())
+					}
+					v = tdb.Instant(c)
+				}
+				newData[idx] = v
+			}
+			oldKey := ver.Data.Key(sch)
+			switch {
+			case !rel.Kind().SupportsHistorical():
+				if err := h.Replace(oldKey, newData); err != nil {
+					return err
+				}
+			case rel.Event():
+				at := ver.Valid.From
+				if n.Valid != nil {
+					if n.Valid.At == nil {
+						return errf(n.Valid.Pos, "event relations need 'valid at'")
+					}
+					if at, err = evalEvent(n.Valid.At, ev); err != nil {
+						return err
+					}
+				}
+				if err := h.RetractAt(oldKey, ver.Valid.From); err != nil {
+					return err
+				}
+				if err := h.AssertAt(newData, at); err != nil {
+					return err
+				}
+			default:
+				iv, _, err := validRange(n.Valid, ev, ver.Valid)
+				if err != nil {
+					return err
+				}
+				if err := h.Assert(newData, iv.From, iv.To); err != nil {
+					return err
+				}
+			}
+			delete(ev.vars, n.Var)
+			count++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Stmt: "replace", Msg: fmt.Sprintf("%d tuple(s) replaced", count)}, nil
+}

@@ -1,0 +1,557 @@
+package tquel
+
+import (
+	"strings"
+	"testing"
+
+	"tdb"
+	"tdb/temporal"
+)
+
+// testClocks tracks the logical clock behind each test database so dated
+// DML can be replayed at the paper's commit instants.
+var testClocks = map[*tdb.DB]*temporal.LogicalClock{}
+
+func newDB(t testing.TB) *tdb.DB {
+	t.Helper()
+	clock := temporal.NewLogicalClock(temporal.Date(1985, 3, 1))
+	db, err := tdb.Open("", tdb.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testClocks[db] = clock
+	t.Cleanup(func() {
+		delete(testClocks, db)
+		db.Close()
+	})
+	return db
+}
+
+func newPastDB(t testing.TB) *tdb.DB {
+	t.Helper()
+	clock := temporal.NewLogicalClock(0)
+	db, err := tdb.Open("", tdb.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testClocks[db] = clock
+	t.Cleanup(func() {
+		delete(testClocks, db)
+		db.Close()
+	})
+	return db
+}
+
+// paperSession loads the paper's faculty history (Figure 8) through TQuel
+// DML executed at the paper's dated commit instants.
+func paperSession(t testing.TB) *Session {
+	t.Helper()
+	db := newPastDB(t)
+	ses := NewSession(db)
+	if _, err := ses.Exec(`
+		create temporal relation faculty (name = string, rank = string) key (name)
+		range of f is faculty
+	`); err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		at  string
+		src string
+	}{
+		{"08/25/77", `append to faculty (name = "Merrie", rank = "associate") valid from "09/01/77" to forever`},
+		{"12/01/82", `append to faculty (name = "Tom", rank = "full") valid from "12/05/82" to forever`},
+		{"12/07/82", `replace f (rank = "associate") where f.name = "Tom" valid from "12/05/82" to forever`},
+		{"12/15/82", `replace f (rank = "full") where f.name = "Merrie" valid from "12/01/82" to forever`},
+		{"01/10/83", `append to faculty (name = "Mike", rank = "assistant") valid from "01/01/83" to forever`},
+		{"02/25/84", `delete f where f.name = "Mike" valid from "03/01/84" to forever`},
+	}
+	for _, s := range steps {
+		execAt(t, ses, temporal.MustParse(s.at), s.src)
+	}
+	return ses
+}
+
+// execAt runs one DML statement with the database's logical clock advanced
+// to the given instant, replaying the paper's dated transactions.
+func execAt(t testing.TB, ses *Session, at temporal.Chronon, src string) {
+	t.Helper()
+	clock, ok := testClocks[ses.db]
+	if !ok {
+		t.Fatal("session database has no settable clock")
+	}
+	clock.Set(at)
+	if _, err := ses.Exec(src); err != nil {
+		t.Fatalf("exec at %v: %v\n%s", at, err, src)
+	}
+}
+
+func TestStaticQueryFigure2(t *testing.T) {
+	db := newDB(t)
+	ses := NewSession(db)
+	outs, err := ses.Exec(`
+		create static relation faculty (name = string, rank = string) key (name)
+		range of f is faculty
+		append to faculty (name = "Merrie", rank = "full")
+		append to faculty (name = "Tom", rank = "associate")
+		retrieve (f.rank) where f.name = "Merrie"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := outs[len(outs)-1].Result
+	if res.Len() != 1 || res.Rows[0].Data[0].Str() != "full" {
+		t.Fatalf("Figure 2 query:\n%s", res)
+	}
+	if res.HasValid || res.HasTrans {
+		t.Error("static result must carry no implicit time")
+	}
+	if res.Attrs[0] != "rank" {
+		t.Errorf("attrs = %v", res.Attrs)
+	}
+}
+
+// Figure 4's rollback query: Merrie's rank as of 12/10/82 is associate.
+func TestRollbackQueryFigure4(t *testing.T) {
+	ses := paperSession(t)
+	res, err := ses.Query(`retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0].Data[0].Str() != "associate" {
+		t.Fatalf("as of 12/10/82:\n%s", res)
+	}
+}
+
+// Figure 6's historical query: Merrie's rank when Tom arrived is full, with
+// valid period [12/01/82, ∞).
+func TestHistoricalQueryFigure6(t *testing.T) {
+	ses := paperSession(t)
+	res, err := ses.Query(`
+		range of f1 is faculty
+		range of f2 is faculty
+		retrieve (f1.rank)
+		where f1.name = "Merrie" and f2.name = "Tom"
+		when f1 overlap start of f2
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("result:\n%s", res)
+	}
+	row := res.Rows[0]
+	if row.Data[0].Str() != "full" {
+		t.Errorf("rank = %v", row.Data[0])
+	}
+	if row.Valid != temporal.Since(temporal.MustParse("12/01/82")) {
+		t.Errorf("valid = %v", row.Valid)
+	}
+	if !res.HasValid {
+		t.Error("historical result must carry valid time")
+	}
+}
+
+// §4.4's temporal query: as of 12/10/82 the answer is associate with the
+// stamps of Figure 8's first row; as of 12/20/82 it is full.
+func TestTemporalQuerySection44(t *testing.T) {
+	ses := paperSession(t)
+	const q = `
+		range of f1 is faculty
+		range of f2 is faculty
+		retrieve (f1.rank)
+		where f1.name = "Merrie" and f2.name = "Tom"
+		when f1 overlap start of f2
+		as of %q
+	`
+	res, err := ses.Query(strings.ReplaceAll(q, "%q", `"12/10/82"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("as of 12/10/82:\n%s", res)
+	}
+	row := res.Rows[0]
+	if row.Data[0].Str() != "associate" {
+		t.Errorf("rank = %v", row.Data[0])
+	}
+	if row.Valid != temporal.Since(temporal.MustParse("09/01/77")) {
+		t.Errorf("valid = %v", row.Valid)
+	}
+	want := temporal.Interval{From: temporal.MustParse("08/25/77"), To: temporal.MustParse("12/15/82")}
+	if row.Trans != want {
+		t.Errorf("trans = %v, want %v", row.Trans, want)
+	}
+	if !res.HasTrans || !res.HasValid {
+		t.Error("temporal result must carry both times")
+	}
+
+	res, err = ses.Query(strings.ReplaceAll(q, "%q", `"12/20/82"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0].Data[0].Str() != "full" {
+		t.Fatalf("as of 12/20/82:\n%s", res)
+	}
+}
+
+func TestRetrieveInto(t *testing.T) {
+	ses := paperSession(t)
+	if _, err := ses.Exec(`
+		range of g is faculty
+		retrieve into current (g.name, g.rank)
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.Query(`
+		range of c is current
+		retrieve (c.name) where c.rank = "associate"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 { // Merrie's early period and Tom
+		t.Fatalf("into-query:\n%s", res)
+	}
+	// Duplicate into-name fails.
+	if _, err := ses.Exec(`retrieve into current (g.name)`); err == nil {
+		t.Error("duplicate into relation must fail")
+	}
+}
+
+func TestDeleteAndReplaceOnStatic(t *testing.T) {
+	db := newDB(t)
+	ses := NewSession(db)
+	if _, err := ses.Exec(`
+		create static relation r (name = string, rank = string) key (name)
+		range of x is r
+		append to r (name = "A", rank = "one")
+		append to r (name = "B", rank = "two")
+		replace x (rank = "uno") where x.name = "A"
+		delete x where x.name = "B"
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.Query(`retrieve (x.name, x.rank)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0].Data[1].Str() != "uno" {
+		t.Fatalf("result:\n%s", res)
+	}
+	// Deleting with no match deletes nothing.
+	outs, err := ses.Exec(`delete x where x.name = "Ghost"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Msg != "0 tuple(s) deleted" {
+		t.Errorf("msg = %q", outs[0].Msg)
+	}
+}
+
+func TestEventRelationFigure9(t *testing.T) {
+	db := newPastDB(t)
+	ses := NewSession(db)
+	if _, err := ses.Exec(`
+		create temporal event relation promotion (name = string, rank = string, effective = date) key (name)
+		range of p is promotion
+	`); err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		at, src string
+	}{
+		{"08/25/77", `append to promotion (name = "Merrie", rank = "associate", effective = "09/01/77") valid at "08/25/77"`},
+		{"12/01/82", `append to promotion (name = "Tom", rank = "full", effective = "12/05/82") valid at "12/05/82"`},
+		{"12/07/82", `replace p (rank = "associate") where p.name = "Tom" valid at "12/07/82"`},
+		{"12/15/82", `append to promotion (name = "Merrie", rank = "full", effective = "12/01/82") valid at "12/11/82"`},
+	}
+	for _, s := range steps {
+		execAt(t, ses, temporal.MustParse(s.at), s.src)
+	}
+	res, err := ses.Query(`retrieve (p.rank, p.effective) where p.name = "Merrie"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Event {
+		t.Error("event relation result must be an event resultset")
+	}
+	if res.Len() != 2 {
+		t.Fatalf("result:\n%s", res)
+	}
+	// Figure 9's point: the user-defined effective date (12/01/82) differs
+	// from the valid instant (12/11/82) and the transaction time (12/15/82).
+	found := false
+	for _, row := range res.Rows {
+		if row.Data[0].Str() == "full" {
+			found = true
+			if row.Data[1].Instant() != temporal.MustParse("12/01/82") {
+				t.Errorf("effective = %v", row.Data[1])
+			}
+			if row.Valid != temporal.At(temporal.MustParse("12/11/82")) {
+				t.Errorf("valid = %v", row.Valid)
+			}
+			if row.Trans.From != temporal.MustParse("12/15/82") {
+				t.Errorf("trans = %v", row.Trans)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("promotion row missing:\n%s", res)
+	}
+	// Rollback before the correction sees Tom as full.
+	res, err = ses.Query(`retrieve (p.rank) where p.name = "Tom" as of "12/05/82"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0].Data[0].Str() != "full" {
+		t.Fatalf("Tom as of 12/05/82:\n%s", res)
+	}
+}
+
+func TestTaxonomyViolationsThroughTQuel(t *testing.T) {
+	db := newDB(t)
+	ses := NewSession(db)
+	if _, err := ses.Exec(`
+		create static relation s (x = string)
+		create historical relation h (x = string)
+		create rollback relation rb (x = string)
+		range of sv is s
+		range of hv is h
+		range of rv is rb
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// Rollback on non-rollback kinds.
+	if _, err := ses.Query(`retrieve (sv.x) as of "12/10/82"`); err == nil {
+		t.Error("as of on static must fail")
+	}
+	if _, err := ses.Query(`retrieve (hv.x) as of "12/10/82"`); err == nil {
+		t.Error("as of on historical must fail")
+	}
+	if _, err := ses.Query(`retrieve (rv.x) as of "12/10/82"`); err != nil {
+		t.Errorf("as of on rollback: %v", err)
+	}
+	// Valid clause on static kinds.
+	if _, err := ses.Exec(`append to s (x = "a") valid from "01/01/80" to forever`); err == nil {
+		t.Error("valid clause on static append must fail")
+	}
+	if _, err := ses.Exec(`append to rb (x = "a") valid from "01/01/80" to forever`); err == nil {
+		t.Error("valid clause on rollback append must fail")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := newDB(t)
+	ses := NewSession(db)
+	if _, err := ses.Exec(`range of f is nowhere`); err == nil {
+		t.Error("range over unknown relation must fail")
+	}
+	if _, err := ses.Exec(`retrieve (f.rank)`); err == nil {
+		t.Error("undeclared variable must fail")
+	}
+	if _, err := ses.Exec(`create static relation r (x = string)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Exec(`range of r1 is r`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Query(`retrieve (r1.nope)`); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	if _, err := ses.Exec(`append to r (nope = "x")`); err == nil {
+		t.Error("append to unknown attribute must fail")
+	}
+	if _, err := ses.Exec(`append to r (x = "a", x = "b")`); err == nil {
+		t.Error("double set must fail")
+	}
+	if _, err := ses.Exec(`create static relation r2 (x = string, y = string)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Exec(`append to r2 (x = "a")`); err == nil {
+		t.Error("missing attribute must fail")
+	}
+	if _, err := ses.Exec(`destroy nowhere`); err == nil {
+		t.Error("destroy unknown must fail")
+	}
+	if _, err := ses.Query(`range of q is r
+		retrieve (q.x) where q.x = 42`); err == nil {
+		t.Error("type mismatch in where must fail")
+	}
+	if _, err := ses.Query(`retrieve (q.x) when q`); err == nil {
+		t.Error("bare element as when predicate must fail")
+	}
+}
+
+func TestWhereComparisonsAndCoercions(t *testing.T) {
+	db := newDB(t)
+	ses := NewSession(db)
+	if _, err := ses.Exec(`
+		create static relation emp (name = string, salary = int, score = float, hired = date) key (name)
+		range of e is emp
+		append to emp (name = "a", salary = 100, score = 1.5, hired = "01/01/80")
+		append to emp (name = "b", salary = 200, score = 2.5, hired = "01/01/82")
+	`); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]int{
+		`retrieve (e.name) where e.salary > 150`:                    1,
+		`retrieve (e.name) where e.salary >= 100`:                   2,
+		`retrieve (e.name) where e.salary < 200 and e.score >= 1.5`: 1,
+		`retrieve (e.name) where e.hired < "01/01/81"`:              1,
+		`retrieve (e.name) where e.hired = "01/01/82"`:              1,
+		`retrieve (e.name) where e.name != "a"`:                     1,
+		`retrieve (e.name) where e.salary > 1.5`:                    2, // int/float widening
+		`retrieve (e.name) where not e.name = "a"`:                  1,
+		`retrieve (e.name) where e.name = "a" or e.name = "b"`:      2,
+	}
+	for q, want := range cases {
+		res, err := ses.Query(q)
+		if err != nil {
+			t.Errorf("%s: %v", q, err)
+			continue
+		}
+		if res.Len() != want {
+			t.Errorf("%s = %d rows, want %d\n%s", q, res.Len(), want, res)
+		}
+	}
+}
+
+func TestWhenOperators(t *testing.T) {
+	db := newDB(t)
+	ses := NewSession(db)
+	if _, err := ses.Exec(`
+		create historical relation h (name = string) key (name)
+		range of a is h
+		range of b is h
+	`); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.Relation("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, from, to string) {
+		t.Helper()
+		if err := rel.Assert(tdb.NewTuple(tdb.String(name)),
+			temporal.MustParse(from), temporal.MustParse(to)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("early", "01/01/80", "01/01/82")
+	mk("late", "01/01/83", "01/01/85")
+	mk("wide", "01/01/79", "01/01/86")
+
+	cases := map[string][]string{
+		`retrieve (a.name) where a.name != "x" when a overlap "06/01/80"`: {"early", "wide"},
+		`retrieve (a.name) when a precede "01/01/83"`:                     {"early"},
+		`retrieve (a.name) when "01/01/82" precede a`:                     {"late"},
+		// TQuel's default derived valid period is the intersection of the
+		// participants'; disjoint operands need an explicit valid clause.
+		`retrieve (a.name, b.name) where a.name = "early" when a precede b
+		 valid from start of a to start of b`: {"early|late"},
+		`retrieve (a.name) when a equal ("01/01/79" extend end of a)`:              {"wide"},
+		`retrieve (a.name) when start of a precede "06/01/79" and a overlap "now"`: nil,
+		`retrieve (a.name) when not a overlap "06/01/80"`:                          {"late"},
+	}
+	for q, want := range cases {
+		res, err := ses.Query(q)
+		if err != nil {
+			t.Errorf("%s: %v", q, err)
+			continue
+		}
+		var got []string
+		for _, row := range res.Rows {
+			parts := make([]string, len(row.Data))
+			for i, v := range row.Data {
+				parts[i] = v.String()
+			}
+			got = append(got, strings.Join(parts, "|"))
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s = %v, want %v", q, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s = %v, want %v", q, got, want)
+			}
+		}
+	}
+}
+
+func TestValidClauseDerivations(t *testing.T) {
+	ses := paperSession(t)
+	// Override the derived valid period.
+	res, err := ses.Query(`
+		range of v is faculty
+		retrieve (v.name) where v.name = "Mike" valid from "01/01/83" to "03/01/84"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("result:\n%s", res)
+	}
+	want := temporal.Interval{From: temporal.MustParse("01/01/83"), To: temporal.MustParse("03/01/84")}
+	if res.Rows[0].Valid != want {
+		t.Errorf("valid = %v", res.Rows[0].Valid)
+	}
+	// valid at makes an event resultset.
+	res, err = ses.Query(`retrieve (v.name) where v.name = "Mike" valid at start of v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Event || res.Len() != 1 {
+		t.Fatalf("event result:\n%s", res)
+	}
+	if res.Rows[0].Valid != temporal.At(temporal.MustParse("01/01/83")) {
+		t.Errorf("valid at = %v", res.Rows[0].Valid)
+	}
+}
+
+func TestSessionNowSpelling(t *testing.T) {
+	ses := paperSession(t)
+	ses.SetNow(func() temporal.Chronon { return temporal.MustParse("06/01/83") })
+	res, err := ses.Query(`
+		range of n is faculty
+		retrieve (n.name) when n overlap "now"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 { // Merrie, Tom, Mike mid-1983
+		t.Fatalf("now-query:\n%s", res)
+	}
+}
+
+func TestOutcomeMessages(t *testing.T) {
+	db := newDB(t)
+	ses := NewSession(db)
+	outs, err := ses.Exec(`
+		create temporal relation r (x = string) key (x)
+		range of v is r
+		append to r (x = "a")
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(outs[0].String(), "created temporal relation r") {
+		t.Errorf("create msg = %q", outs[0])
+	}
+	if !strings.Contains(outs[1].String(), "range of v is r") {
+		t.Errorf("range msg = %q", outs[1])
+	}
+	if !strings.Contains(outs[2].String(), "appended") {
+		t.Errorf("append msg = %q", outs[2])
+	}
+	outs, err = ses.Exec(`retrieve (v.x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(outs[0].String(), "| x") {
+		t.Errorf("retrieve output = %q", outs[0])
+	}
+	if _, err := ses.Query(`append to r (x = "b")`); err == nil {
+		t.Error("Query without retrieve must fail")
+	}
+}

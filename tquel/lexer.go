@@ -1,0 +1,180 @@
+package tquel
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer turns TQuel source into tokens. Comments run from "--" or "/*" in
+// the usual way; identifiers are letters, digits and underscores starting
+// with a letter; the punctuation set covers Quel's comparison operators.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, returning the tokens (ending with TokEOF)
+// or a positioned error.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peek2() rune {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) here() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) next() (Token, error) {
+	for {
+		// Skip whitespace.
+		for lx.pos < len(lx.src) && unicode.IsSpace(lx.peek()) {
+			lx.advance()
+		}
+		// Skip comments.
+		if lx.peek() == '-' && lx.peek2() == '-' {
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		if lx.peek() == '/' && lx.peek2() == '*' {
+			start := lx.here()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return Token{}, errf(start, "unterminated comment")
+			}
+			continue
+		}
+		break
+	}
+	pos := lx.here()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := lx.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			r := lx.peek()
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			b.WriteRune(lx.advance())
+		}
+		return Token{Kind: TokIdent, Text: b.String(), Pos: pos}, nil
+	case unicode.IsDigit(r):
+		var b strings.Builder
+		isFloat := false
+		for lx.pos < len(lx.src) {
+			r := lx.peek()
+			if r == '.' && !isFloat && unicode.IsDigit(lx.peek2()) {
+				isFloat = true
+				b.WriteRune(lx.advance())
+				continue
+			}
+			if !unicode.IsDigit(r) {
+				break
+			}
+			b.WriteRune(lx.advance())
+		}
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Text: b.String(), Pos: pos}, nil
+	case r == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return Token{}, errf(pos, "unterminated string literal")
+			}
+			c := lx.advance()
+			if c == '"' {
+				return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+			}
+			if c == '\\' && lx.pos < len(lx.src) {
+				e := lx.advance()
+				switch e {
+				case 'n':
+					b.WriteRune('\n')
+				case 't':
+					b.WriteRune('\t')
+				case '"', '\\':
+					b.WriteRune(e)
+				default:
+					return Token{}, errf(pos, "unknown escape \\%c in string", e)
+				}
+				continue
+			}
+			b.WriteRune(c)
+		}
+	case r == '!' || r == '<' || r == '>':
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokPunct, Text: string(r) + "=", Pos: pos}, nil
+		}
+		if r == '!' {
+			return Token{}, errf(pos, "unexpected '!': did you mean '!='?")
+		}
+		return Token{Kind: TokPunct, Text: string(r), Pos: pos}, nil
+	case strings.ContainsRune("(),.=-+", r):
+		lx.advance()
+		return Token{Kind: TokPunct, Text: string(r), Pos: pos}, nil
+	default:
+		return Token{}, errf(pos, "unexpected character %q", string(r))
+	}
+}

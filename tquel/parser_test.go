@@ -1,0 +1,355 @@
+package tquel
+
+import (
+	"strings"
+	"testing"
+
+	"tdb"
+)
+
+func parseOne(t *testing.T, src string) Stmt {
+	t.Helper()
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	if len(stmts) != 1 {
+		t.Fatalf("Parse(%q) = %d statements", src, len(stmts))
+	}
+	return stmts[0]
+}
+
+func TestParseCreate(t *testing.T) {
+	st := parseOne(t, `create temporal relation faculty (name = string, rank = string) key (name)`).(*CreateStmt)
+	if st.Name != "faculty" || st.Kind != tdb.Temporal || st.Event {
+		t.Errorf("create = %+v", st)
+	}
+	if len(st.Attrs) != 2 || st.Attrs[0].Name != "name" || st.Attrs[1].Type != tdb.StringKind {
+		t.Errorf("attrs = %+v", st.Attrs)
+	}
+	if len(st.Keys) != 1 || st.Keys[0] != "name" {
+		t.Errorf("keys = %v", st.Keys)
+	}
+	// Default kind is static; "relation" is optional; event flag.
+	st = parseOne(t, `create r (x = int)`).(*CreateStmt)
+	if st.Kind != tdb.Static {
+		t.Errorf("default kind = %v", st.Kind)
+	}
+	st = parseOne(t, `create historical event relation promo (name = string, effective = date)`).(*CreateStmt)
+	if st.Kind != tdb.Historical || !st.Event {
+		t.Errorf("event create = %+v", st)
+	}
+	if st.Attrs[1].Type != tdb.InstantKind {
+		t.Errorf("date type = %v", st.Attrs[1].Type)
+	}
+	// Errors.
+	for _, bad := range []string{
+		`create r ()`,
+		`create r (x = blob)`,
+		`create r (x = int`,
+		`create rollback event relation r (x = int)`, // parsed fine; exec rejects — but kind keyword order:
+	} {
+		_ = bad
+	}
+	if _, err := Parse(`create r (x = blob)`); err == nil {
+		t.Error("unknown type must fail")
+	}
+	if _, err := Parse(`create r (x = int,`); err == nil {
+		t.Error("truncated create must fail")
+	}
+}
+
+func TestParseRangeAndDestroy(t *testing.T) {
+	st := parseOne(t, `range of f is faculty`).(*RangeStmt)
+	if st.Var != "f" || st.Rel != "faculty" {
+		t.Errorf("range = %+v", st)
+	}
+	d := parseOne(t, `destroy faculty`).(*DestroyStmt)
+	if d.Name != "faculty" {
+		t.Errorf("destroy = %+v", d)
+	}
+	if _, err := Parse(`range f is faculty`); err == nil {
+		t.Error("missing 'of' must fail")
+	}
+}
+
+func TestParseRetrievePaperQueries(t *testing.T) {
+	// The static query (§4.1).
+	st := parseOne(t, `retrieve (f.rank) where f.name = "Merrie"`).(*RetrieveStmt)
+	if len(st.Targets) != 1 {
+		t.Fatalf("targets = %+v", st.Targets)
+	}
+	ar, ok := st.Targets[0].Expr.(*AttrRef)
+	if !ok || ar.Var != "f" || ar.Attr != "rank" {
+		t.Errorf("target = %+v", st.Targets[0].Expr)
+	}
+	cmp, ok := st.Where.(*Cmp)
+	if !ok || cmp.Op != "=" {
+		t.Fatalf("where = %+v", st.Where)
+	}
+
+	// The rollback query (§4.2).
+	st = parseOne(t, `retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"`).(*RetrieveStmt)
+	if st.AsOf == nil {
+		t.Fatal("as of missing")
+	}
+	tl, ok := st.AsOf.At.(*TimeLit)
+	if !ok || tl.Text != "12/10/82" {
+		t.Errorf("as of = %+v", st.AsOf.At)
+	}
+
+	// The historical query (§4.3).
+	st = parseOne(t, `retrieve (f1.rank)
+	                  where f1.name = "Merrie" and f2.name = "Tom"
+	                  when f1 overlap start of f2`).(*RetrieveStmt)
+	if st.When == nil {
+		t.Fatal("when missing")
+	}
+	rel, ok := st.When.(*TempRel)
+	if !ok || rel.Op != "overlap" {
+		t.Fatalf("when = %+v", st.When)
+	}
+	if _, ok := rel.L.(*VarInterval); !ok {
+		t.Errorf("when lhs = %+v", rel.L)
+	}
+	so, ok := rel.R.(*StartOf)
+	if !ok {
+		t.Fatalf("when rhs = %+v", rel.R)
+	}
+	if vi, ok := so.Of.(*VarInterval); !ok || vi.Var != "f2" {
+		t.Errorf("start of operand = %+v", so.Of)
+	}
+	bo, ok := st.Where.(*BoolOp)
+	if !ok || bo.Op != "and" {
+		t.Errorf("where = %+v", st.Where)
+	}
+
+	// The temporal query (§4.4) — both clauses.
+	st = parseOne(t, `retrieve (f1.rank)
+	                  where f1.name = "Merrie" and f2.name = "Tom"
+	                  when f1 overlap start of f2
+	                  as of "12/10/82"`).(*RetrieveStmt)
+	if st.When == nil || st.AsOf == nil {
+		t.Fatal("clauses missing")
+	}
+}
+
+func TestParseRetrieveClauses(t *testing.T) {
+	st := parseOne(t, `retrieve into result (r = f.rank, f.name, c = 42)
+	                   valid from "01/01/80" to forever
+	                   where f.rank != "full"
+	                   as of "12/10/82" through "12/20/82"`).(*RetrieveStmt)
+	if st.Into != "result" {
+		t.Errorf("into = %q", st.Into)
+	}
+	if st.Targets[0].Name != "r" || st.Targets[1].Name != "" || st.Targets[2].Name != "c" {
+		t.Errorf("target names = %+v", st.Targets)
+	}
+	if _, ok := st.Targets[2].Expr.(*Lit); !ok {
+		t.Errorf("literal target = %+v", st.Targets[2].Expr)
+	}
+	if st.Valid == nil || st.Valid.At != nil || st.Valid.From == nil {
+		t.Errorf("valid = %+v", st.Valid)
+	}
+	if st.AsOf.Through == nil {
+		t.Error("through missing")
+	}
+	// valid at form.
+	st = parseOne(t, `retrieve (f.name) valid at "12/01/82"`).(*RetrieveStmt)
+	if st.Valid == nil || st.Valid.At == nil {
+		t.Errorf("valid at = %+v", st.Valid)
+	}
+	// Duplicate clause errors.
+	for _, bad := range []string{
+		`retrieve (f.x) where f.a = 1 where f.b = 2`,
+		`retrieve (f.x) when f overlap f when f precede f`,
+		`retrieve (f.x) as of "1/1/80" as of "1/1/81"`,
+		`retrieve (f.x) valid at "1/1/80" valid at "1/1/81"`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("duplicate clause accepted: %s", bad)
+		}
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	st := parseOne(t, `retrieve (f.x) where f.a = 1 or f.b = 2 and not f.c = 3`).(*RetrieveStmt)
+	// or(a=1, and(b=2, not(c=3)))
+	or, ok := st.Where.(*BoolOp)
+	if !ok || or.Op != "or" {
+		t.Fatalf("top = %+v", st.Where)
+	}
+	and, ok := or.R.(*BoolOp)
+	if !ok || and.Op != "and" {
+		t.Fatalf("rhs = %+v", or.R)
+	}
+	if not, ok := and.R.(*BoolOp); !ok || not.Op != "not" {
+		t.Fatalf("and rhs = %+v", and.R)
+	}
+	// Parentheses override.
+	st = parseOne(t, `retrieve (f.x) where (f.a = 1 or f.b = 2) and f.c = 3`).(*RetrieveStmt)
+	and2, ok := st.Where.(*BoolOp)
+	if !ok || and2.Op != "and" {
+		t.Fatalf("top = %+v", st.Where)
+	}
+	if l, ok := and2.L.(*BoolOp); !ok || l.Op != "or" {
+		t.Fatalf("lhs = %+v", and2.L)
+	}
+}
+
+func TestParseTemporalPrecedence(t *testing.T) {
+	st := parseOne(t, `retrieve (f.x) when f1 overlap f2 and not f1 precede f3`).(*RetrieveStmt)
+	and, ok := st.When.(*TempBool)
+	if !ok || and.Op != "and" {
+		t.Fatalf("when = %+v", st.When)
+	}
+	if _, ok := and.L.(*TempRel); !ok {
+		t.Fatalf("lhs = %+v", and.L)
+	}
+	if not, ok := and.R.(*TempBool); !ok || not.Op != "not" {
+		t.Fatalf("rhs = %+v", and.R)
+	}
+	// extend binds tighter than overlap.
+	st = parseOne(t, `retrieve (f.x) when f1 extend f2 overlap f3`).(*RetrieveStmt)
+	rel, ok := st.When.(*TempRel)
+	if !ok || rel.Op != "overlap" {
+		t.Fatalf("when = %+v", st.When)
+	}
+	if _, ok := rel.L.(*Extend); !ok {
+		t.Fatalf("lhs = %+v", rel.L)
+	}
+	// end of and nested parens.
+	st = parseOne(t, `retrieve (f.x) when end of (f1 extend f2) precede "now"`).(*RetrieveStmt)
+	rel, ok = st.When.(*TempRel)
+	if !ok || rel.Op != "precede" {
+		t.Fatalf("when = %+v", st.When)
+	}
+	if _, ok := rel.L.(*EndOf); !ok {
+		t.Fatalf("lhs = %+v", rel.L)
+	}
+}
+
+func TestParseDML(t *testing.T) {
+	ap := parseOne(t, `append to faculty (name = "James", rank = "assistant") valid from "02/01/85" to forever`).(*AppendStmt)
+	if ap.Rel != "faculty" || len(ap.Sets) != 2 || ap.Valid == nil {
+		t.Errorf("append = %+v", ap)
+	}
+	del := parseOne(t, `delete f where f.name = "Mike" valid from "03/01/84" to forever`).(*DeleteStmt)
+	if del.Var != "f" || del.Where == nil || del.Valid == nil {
+		t.Errorf("delete = %+v", del)
+	}
+	rep := parseOne(t, `replace f (rank = "full") where f.name = "Merrie" valid from "12/01/82" to forever`).(*ReplaceStmt)
+	if rep.Var != "f" || len(rep.Sets) != 1 || rep.Where == nil || rep.Valid == nil {
+		t.Errorf("replace = %+v", rep)
+	}
+	if _, err := Parse(`append faculty (x = 1)`); err == nil {
+		t.Error("append without 'to' must fail")
+	}
+}
+
+func TestParseMultipleStatements(t *testing.T) {
+	stmts, err := Parse(`
+		create temporal relation faculty (name = string, rank = string) key (name)
+		range of f is faculty
+		retrieve (f.rank) where f.name = "Merrie"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+}
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	_, err := Parse("retrieve\n  (f.rank")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks position: %v", err)
+	}
+	if _, err := Parse(`bogus statement`); err == nil {
+		t.Error("unknown statement must fail")
+	}
+	if _, err := Parse(`retrieve (f.rank) where f. = 3`); err == nil {
+		t.Error("broken attr ref must fail")
+	}
+}
+
+// Every truncation/malformation of each statement form must produce a
+// positioned error, never a panic or silent acceptance.
+func TestParseMalformedStatements(t *testing.T) {
+	cases := []string{
+		// create
+		`create`,
+		`create r`,
+		`create r (`,
+		`create r (x`,
+		`create r (x =`,
+		`create r (x = int key`,
+		`create r (x = int) key`,
+		`create r (x = int) key (`,
+		`create r (x = int) key (x`,
+		// destroy / range
+		`destroy`,
+		`range`,
+		`range of`,
+		`range of v`,
+		`range of v is`,
+		// retrieve
+		`retrieve`,
+		`retrieve into`,
+		`retrieve (`,
+		`retrieve ()`,
+		`retrieve (v.x`,
+		`retrieve (v.x,)`,
+		`retrieve (v.x) valid`,
+		`retrieve (v.x) valid from "1/1/80"`,
+		`retrieve (v.x) valid from "1/1/80" to`,
+		`retrieve (v.x) valid at`,
+		`retrieve (v.x) where`,
+		`retrieve (v.x) when`,
+		`retrieve (v.x) as`,
+		`retrieve (v.x) as of`,
+		`retrieve (v.x) as of "1/1/80" through`,
+		`retrieve (v.x) when start`,
+		`retrieve (v.x) when start of`,
+		`retrieve (v.x) when v extend`,
+		`retrieve (v.x) when v overlap`,
+		`retrieve (v.x) when (v overlap v`,
+		`retrieve (v.x) where (v.x = 1`,
+		`retrieve (v.x) where not`,
+		`retrieve (count(v.x)`,
+		`retrieve (count(`,
+		// append / delete / replace
+		`append`,
+		`append to`,
+		`append to r`,
+		`append to r (x`,
+		`append to r (x = )`,
+		`delete`,
+		`replace`,
+		`replace v`,
+		`replace v (x = 1`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted malformed: %q", src)
+		}
+	}
+}
+
+func TestTokenKindAndErrorRendering(t *testing.T) {
+	if TokString.String() != "string" || TokenKind(99).String() != "unknown" {
+		t.Error("token kind names")
+	}
+	e := &Error{Msg: "boom"}
+	if e.Error() != "tquel: boom" {
+		t.Errorf("positionless error = %q", e.Error())
+	}
+	e = &Error{Pos: Pos{Line: 2, Col: 7}, Msg: "boom"}
+	if e.Error() != "tquel: 2:7: boom" {
+		t.Errorf("positioned error = %q", e.Error())
+	}
+}

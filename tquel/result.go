@@ -1,0 +1,110 @@
+package tquel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tdb"
+	"tdb/internal/pretty"
+	"tdb/temporal"
+)
+
+// ResultRow is one derived tuple with its implicit time stamps.
+type ResultRow struct {
+	Data  tdb.Tuple
+	Valid temporal.Interval
+	Trans temporal.Interval
+}
+
+// Resultset is the materialized answer of a retrieve statement. Like the
+// paper's derived relations it carries the implicit time columns its source
+// relations had: querying a temporal relation yields a temporal resultset
+// (valid and transaction time), a historical relation yields valid time
+// only, and so on.
+type Resultset struct {
+	Attrs    []string
+	Rows     []ResultRow
+	HasValid bool
+	HasTrans bool
+	Event    bool
+}
+
+// Len returns the number of rows.
+func (r *Resultset) Len() int { return len(r.Rows) }
+
+// String renders the resultset in the paper's figure style.
+func (r *Resultset) String() string {
+	headers := append([]string{}, r.Attrs...)
+	split := 0
+	if r.HasValid || r.HasTrans {
+		split = len(headers)
+	}
+	if r.HasValid {
+		if r.Event {
+			headers = append(headers, "valid at")
+		} else {
+			headers = append(headers, "valid from", "valid to")
+		}
+	}
+	if r.HasTrans {
+		headers = append(headers, "trans start", "trans end")
+	}
+	tbl := pretty.Table{Headers: headers, Split: split}
+	for _, row := range r.Rows {
+		cells := make([]string, 0, len(headers))
+		for _, v := range row.Data {
+			cells = append(cells, v.String())
+		}
+		if r.HasValid {
+			if r.Event {
+				cells = append(cells, row.Valid.From.String())
+			} else {
+				cells = append(cells, row.Valid.From.String(), row.Valid.To.String())
+			}
+		}
+		if r.HasTrans {
+			cells = append(cells, row.Trans.From.String(), row.Trans.To.String())
+		}
+		tbl.Rows = append(tbl.Rows, cells)
+	}
+	return tbl.String()
+}
+
+// sortAndDedup puts rows in a deterministic order and removes duplicates.
+func (r *Resultset) sortAndDedup() {
+	key := func(row ResultRow) string {
+		return fmt.Sprintf("%v|%d|%d|%d|%d", row.Data,
+			row.Valid.From, row.Valid.To, row.Trans.From, row.Trans.To)
+	}
+	sort.Slice(r.Rows, func(i, j int) bool { return key(r.Rows[i]) < key(r.Rows[j]) })
+	out := r.Rows[:0]
+	prev := ""
+	for _, row := range r.Rows {
+		k := key(row)
+		if k != prev {
+			out = append(out, row)
+			prev = k
+		}
+	}
+	r.Rows = out
+}
+
+// Outcome is the result of executing one statement.
+type Outcome struct {
+	// Stmt names the statement kind ("retrieve", "create", ...).
+	Stmt string
+	// Result is non-nil for retrieve statements.
+	Result *Resultset
+	// Msg summarizes effect for non-retrieve statements ("created
+	// relation faculty", "3 tuples deleted").
+	Msg string
+}
+
+// String renders the outcome for interactive display.
+func (o *Outcome) String() string {
+	if o.Result != nil {
+		return strings.TrimRight(o.Result.String(), "\n")
+	}
+	return o.Msg
+}

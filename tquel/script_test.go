@@ -1,0 +1,96 @@
+package tquel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFullScript drives the whole language surface in one session: DDL for
+// every relation kind, DML with every clause, queries with every operator,
+// aggregates, derived relations, and destruction.
+func TestFullScript(t *testing.T) {
+	db := newDB(t)
+	ses := NewSession(db)
+
+	script := []struct {
+		src  string
+		want string // substring expected in the rendered outcome ("" = any)
+	}{
+		// DDL across the taxonomy.
+		{`create static relation depts (name = string, building = string) key (name)`, "created static relation depts"},
+		{`create rollback relation budgets (dept = string, amount = int) key (dept)`, "created static rollback relation budgets"},
+		{`create historical relation chairs (dept = string, chair = string) key (dept)`, "created historical relation chairs"},
+		{`create temporal relation staff (name = string, dept = string) key (name)`, "created temporal relation staff"},
+		{`create historical event relation audits (dept = string, result = string)`, "created historical event relation audits"},
+
+		// Range declarations persist across statements.
+		{`range of d is depts`, ""},
+		{`range of b is budgets`, ""},
+		{`range of c is chairs`, ""},
+		{`range of s is staff`, ""},
+		{`range of a is audits`, ""},
+
+		// DML.
+		{`append to depts (name = "cs", building = "sitterson")`, "appended"},
+		{`append to depts (name = "math", building = "phillips")`, "appended"},
+		{`append to budgets (dept = "cs", amount = 100)`, "appended"},
+		{`replace b (amount = 150) where b.dept = "cs"`, "1 tuple(s) replaced"},
+		{`append to chairs (dept = "cs", chair = "Merrie") valid from "01/01/80" to forever`, "appended"},
+		{`replace c (chair = "Tom") where c.dept = "cs" valid from "01/01/84" to forever`, "replaced"},
+		{`append to staff (name = "Mike", dept = "cs") valid from "01/01/83" to "03/01/84"`, "appended"},
+		{`append to staff (name = "Anna", dept = "math") valid from "06/01/83" to forever`, "appended"},
+		{`append to audits (dept = "cs", result = "pass") valid at "05/01/83"`, "appended"},
+		{`append to audits (dept = "cs", result = "fail") valid at "05/01/84"`, "appended"},
+
+		// Queries.
+		{`retrieve (d.name) where d.building = "sitterson"`, "| cs"},
+		{`retrieve (c.chair) when c overlap "06/01/82"`, "Merrie"},
+		{`retrieve (c.chair) when c overlap "06/01/85"`, "Tom"},
+		{`retrieve (s.name, s.dept) when s overlap "02/01/83"`, "Mike"},
+		{`retrieve (a.result) when a overlap "05/01/83"`, "pass"},
+		{`retrieve (n = count(s.name))`, "| 2"},
+		{`retrieve (s.dept, n = count(s.name))`, "| math"},
+
+		// Joins through multiple range variables.
+		{`range of s2 is staff
+		  retrieve (s.name, s2.name) where s.dept = "cs" and s2.dept = "math"
+		  when s overlap s2`, "Mike"},
+
+		// Derived relation, then query it.
+		{`retrieve into cs_staff (s.name) where s.dept = "cs"`, ""},
+		{`range of cs is cs_staff
+		  retrieve (cs.name)`, "Mike"},
+
+		// Cleanup.
+		{`delete s where s.name = "Mike"`, "1 tuple(s) deleted"},
+		{`destroy cs_staff`, "destroyed relation cs_staff"},
+	}
+	for i, step := range script {
+		outs, err := ses.Exec(step.src)
+		if err != nil {
+			t.Fatalf("step %d (%s): %v", i, strings.SplitN(step.src, "\n", 2)[0], err)
+		}
+		if step.want == "" {
+			continue
+		}
+		var all strings.Builder
+		for _, o := range outs {
+			all.WriteString(o.String())
+			all.WriteByte('\n')
+		}
+		if !strings.Contains(all.String(), step.want) {
+			t.Fatalf("step %d (%s): output missing %q:\n%s",
+				i, strings.SplitN(step.src, "\n", 2)[0], step.want, all.String())
+		}
+	}
+
+	// The deleted staff member is gone from current belief but his period
+	// was already bounded; chairs history has both reigns.
+	res, err := ses.Query(`retrieve (c.chair, c.dept)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("chairs history:\n%s", res)
+	}
+}
