@@ -1,0 +1,27 @@
+# Mirrors .github/workflows/ci.yml so `make check` locally means CI green.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -15,12 +15,15 @@ package tdb_test
 
 import (
 	"fmt"
+	"io"
+	"log"
 	"testing"
 
 	"tdb"
 	"tdb/internal/core"
 	"tdb/internal/dataset"
 	"tdb/internal/figures"
+	"tdb/internal/obs"
 	"tdb/temporal"
 	"tdb/tquel"
 )
@@ -373,5 +376,46 @@ func BenchmarkKeyLookupVsScan(b *testing.B) {
 				b.Fatalf("%v, %v", res, err)
 			}
 		}
+	})
+}
+
+// --- Observability hook overhead (PR: obs subsystem) ---
+
+// BenchmarkTracerOverhead pairs identical TQuel query workloads with and
+// without a tracer installed. The nil-tracer variant is the production
+// default and must stay within noise of the pre-instrumentation baseline
+// (the hooks are one nil check per phase plus four atomic adds per
+// statement); the registry-tracer variant prices full per-phase span
+// aggregation. EXPERIMENTS.md records the measured ratio.
+func BenchmarkTracerOverhead(b *testing.B) {
+	db, err := figures.PaperDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const q = `retrieve (f1.rank)
+		where f1.name = "Merrie" and f2.name = "Tom"
+		when f1 overlap start of f2
+		as of "12/10/82"`
+	bench := func(b *testing.B, tracer obs.Tracer) {
+		ses := tquel.NewSession(db)
+		ses.SetTracer(tracer)
+		if _, err := ses.Exec("range of f1 is faculty\nrange of f2 is faculty"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ses.Query(q)
+			if err != nil || res.Len() != 1 {
+				b.Fatalf("result %v, %v", res, err)
+			}
+		}
+	}
+	b.Run("nil-tracer", func(b *testing.B) { bench(b, nil) })
+	b.Run("registry-tracer", func(b *testing.B) {
+		bench(b, obs.NewRegistryTracer(obs.NewRegistry(), "bench"))
+	})
+	b.Run("log-tracer", func(b *testing.B) {
+		bench(b, obs.NewLogTracer(log.New(io.Discard, "", 0)))
 	})
 }

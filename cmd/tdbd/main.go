@@ -4,51 +4,139 @@
 //
 // Usage:
 //
-//	tdbd -addr :4791 -db /var/lib/tdb/data.wal
+//	tdbd -addr :4791 -db /var/lib/tdb/data.wal -admin :4792
 //
 // SIGINT/SIGTERM shut the server down gracefully, draining connections and
-// syncing the write-ahead log.
+// syncing the write-ahead log. The optional admin endpoint serves
+// /metrics (Prometheus text), /healthz, /statz (JSON snapshot), and
+// /debug/pprof on its own listener; see docs/observability.md.
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tdb"
+	"tdb/internal/obs"
 	"tdb/server"
 )
 
+// config collects the flag values so run can be exercised from tests.
+type config struct {
+	addr   string
+	admin  string
+	dbPath string
+	sync   bool
+	slow   time.Duration
+	trace  bool
+}
+
 func main() {
-	var (
-		addr   = flag.String("addr", "127.0.0.1:4791", "listen address")
-		dbPath = flag.String("db", "", "write-ahead log path (empty = in-memory)")
-		sync   = flag.Bool("sync", false, "fsync the log after every transaction")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:4791", "listen address")
+	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP listen address (e.g. :4792; empty disables)")
+	flag.StringVar(&cfg.dbPath, "db", "", "write-ahead log path (empty = in-memory)")
+	flag.BoolVar(&cfg.sync, "sync", false, "fsync the log after every transaction")
+	flag.DurationVar(&cfg.slow, "slow", 250*time.Millisecond, "log queries at least this slow (0 disables)")
+	flag.BoolVar(&cfg.trace, "trace", false, "record per-phase query spans in the metrics registry")
 	flag.Parse()
 	logger := log.New(os.Stderr, "tdbd: ", log.LstdFlags)
 
-	db, err := tdb.Open(*dbPath, tdb.Options{Sync: *sync})
-	if err != nil {
-		logger.Fatal(err)
-	}
-	srv := server.New(db, logger)
-
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigs
-		logger.Print("shutting down")
-		srv.Close()
+	if err := run(cfg, logger, sigs, nil); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// run opens the database, serves until a signal arrives or the listener
+// fails, and — in every exit path — closes the database so the write-ahead
+// log is synced and released. started, when non-nil, is called with the
+// bound listener addresses (admin is nil when disabled) once the server is
+// accepting.
+func run(cfg config, logger *log.Logger, sigs <-chan os.Signal, started func(serverAddr, adminAddr net.Addr)) (err error) {
+	db, err := tdb.Open(cfg.dbPath, tdb.Options{Sync: cfg.sync})
+	if err != nil {
+		return err
+	}
+	// The deferred close is the shutdown-ordering guarantee: whether Serve
+	// returns cleanly (signal) or with an error (port in use, listener
+	// failure), the WAL is synced and closed before run returns.
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}()
 
-	logger.Printf("listening on %s (db=%q sync=%v)", *addr, *dbPath, *sync)
-	if err := srv.ListenAndServe(*addr); err != nil {
-		logger.Fatal(err)
+	srv := server.New(db, logger)
+	srv.SlowQueryThreshold = cfg.slow
+	if cfg.trace {
+		srv.QueryTracer = obs.NewRegistryTracer(obs.Default, "tdb_query")
 	}
-	if err := db.Close(); err != nil {
-		logger.Fatal(err)
+
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
 	}
+
+	var admin *http.Server
+	var adminAddr net.Addr
+	if cfg.admin != "" {
+		al, err := net.Listen("tcp", cfg.admin)
+		if err != nil {
+			l.Close()
+			return err
+		}
+		adminAddr = al.Addr()
+		admin = &http.Server{Handler: obs.NewAdminMux(obs.Default, obs.AdminOptions{
+			Statz: func() map[string]any {
+				st := db.Stats()
+				return map[string]any{
+					"relations":        st.Relations,
+					"versions":         st.Versions,
+					"current_versions": st.CurrentVersions,
+					"wal_records":      st.WALRecords,
+					"last_commit":      int64(st.LastCommit),
+				}
+			},
+		})}
+		go func() {
+			if aerr := admin.Serve(al); aerr != nil && !errors.Is(aerr, http.ErrServerClosed) {
+				logger.Printf("admin: %v", aerr)
+			}
+		}()
+		logger.Printf("admin endpoint on %s", adminAddr)
+	}
+
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sigs:
+			logger.Print("shutting down")
+			srv.Close()
+		case <-done:
+		}
+	}()
+
+	logger.Printf("listening on %s (db=%q sync=%v)", l.Addr(), cfg.dbPath, cfg.sync)
+	if started != nil {
+		started(l.Addr(), adminAddr)
+	}
+	serveErr := srv.Serve(l)
+	// Whatever unblocked Serve — signal or listener failure — finish the
+	// drain before the deferred db.Close: Close waits for every in-flight
+	// handler even when a concurrent Close started the shutdown.
+	srv.Close()
+	if admin != nil {
+		admin.Close()
+	}
+	return serveErr
 }

@@ -91,6 +91,7 @@ func (s *TemporalStore) LastCommit() temporal.Chronon { return s.lastCommit }
 // non-overlapped valid-time remainders are re-appended as current versions,
 // and the new content is appended. Only valid on interval relations.
 func (s *TemporalStore) Assert(t tuple.Tuple, valid temporal.Interval, at temporal.Chronon) error {
+	countWrite(Temporal)
 	if err := validate(s.sch, t); err != nil {
 		return err
 	}
@@ -113,6 +114,7 @@ func (s *TemporalStore) Assert(t tuple.Tuple, valid temporal.Interval, at tempor
 // during the valid period. It fails with ErrNoSuchTuple when current belief
 // contains nothing to retract.
 func (s *TemporalStore) Retract(key tuple.Tuple, valid temporal.Interval, at temporal.Chronon) error {
+	countWrite(Temporal)
 	if valid.IsEmpty() || !valid.IsValid() {
 		return ErrEmptyValidPeriod
 	}
@@ -129,6 +131,7 @@ func (s *TemporalStore) Retract(key tuple.Tuple, valid temporal.Interval, at tem
 // instant validAt. Events accumulate; correcting one requires RetractAt.
 // Only valid on event relations.
 func (s *TemporalStore) AssertAt(t tuple.Tuple, validAt, at temporal.Chronon) error {
+	countWrite(Temporal)
 	if err := validate(s.sch, t); err != nil {
 		return err
 	}
@@ -149,6 +152,7 @@ func (s *TemporalStore) AssertAt(t tuple.Tuple, validAt, at temporal.Chronon) er
 // key occurring at instant validAt (Figure 9's correction of Tom's
 // erroneous 'full' promotion). Only valid on event relations.
 func (s *TemporalStore) RetractAt(key tuple.Tuple, validAt, at temporal.Chronon) error {
+	countWrite(Temporal)
 	if !s.event {
 		return ErrEventRelation
 	}
@@ -200,6 +204,7 @@ func (s *TemporalStore) supersede(key tuple.Tuple, valid temporal.Interval, at t
 // yet superseded, stamped with its valid period. The result of rollback on
 // a temporal relation is a historical relation (§4.4).
 func (s *TemporalStore) AsOf(t temporal.Chronon) []Version {
+	countRead(Temporal)
 	var out []Version
 	if s.useIndex {
 		s.byTrans.Stab(t, func(_ temporal.Interval, pos int) bool {
@@ -220,6 +225,7 @@ func (s *TemporalStore) AsOf(t temporal.Chronon) []Version {
 // During returns every version that belonged to some believed state during
 // the transaction-time window (TQuel's "as of E1 through E2").
 func (s *TemporalStore) During(window temporal.Interval) []Version {
+	countRead(Temporal)
 	var out []Version
 	s.byTrans.Overlapping(window, func(iv temporal.Interval, pos int) bool {
 		row := s.rows[pos]
@@ -232,6 +238,7 @@ func (s *TemporalStore) During(window temporal.Interval) []Version {
 // TimeSlice answers the fully bitemporal point query: the tuples valid at
 // instant v according to the database state as of transaction time asOf.
 func (s *TemporalStore) TimeSlice(v, asOf temporal.Chronon) []tuple.Tuple {
+	countRead(Temporal)
 	var out []tuple.Tuple
 	for _, ver := range s.AsOf(asOf) {
 		if ver.Valid.Contains(v) {
@@ -244,6 +251,7 @@ func (s *TemporalStore) TimeSlice(v, asOf temporal.Chronon) []tuple.Tuple {
 // When returns the versions current as of asOf whose valid period overlaps
 // q — the primitive behind TQuel's combined when + as of query in §4.4.
 func (s *TemporalStore) When(q temporal.Interval, asOf temporal.Chronon) []Version {
+	countRead(Temporal)
 	var out []Version
 	for _, ver := range s.AsOf(asOf) {
 		if ver.Valid.Overlaps(q) {
@@ -255,6 +263,7 @@ func (s *TemporalStore) When(q temporal.Interval, asOf temporal.Chronon) []Versi
 
 // History returns the currently believed versions for key in valid order.
 func (s *TemporalStore) History(key tuple.Tuple) []Version {
+	countRead(Temporal)
 	var out []Version
 	for _, pos := range s.byKey.Lookup(key.Hash64()) {
 		row := s.rows[pos]

@@ -74,6 +74,7 @@ func (s *HistoricalStore) VersionCount() int { return s.byKey.Len() }
 // discarded belief is forgotten, exactly as the paper prescribes for
 // historical databases. Value-equivalent adjacent periods are coalesced.
 func (s *HistoricalStore) Assert(t tuple.Tuple, valid temporal.Interval) error {
+	countWrite(Historical)
 	if err := validate(s.sch, t); err != nil {
 		return err
 	}
@@ -104,6 +105,7 @@ func (s *HistoricalStore) Assert(t tuple.Tuple, valid temporal.Interval) error {
 // AssertAt records that event tuple t occurred at the given instant. Only
 // valid on event relations.
 func (s *HistoricalStore) AssertAt(t tuple.Tuple, at temporal.Chronon) error {
+	countWrite(Historical)
 	if err := validate(s.sch, t); err != nil {
 		return err
 	}
@@ -129,6 +131,7 @@ func (s *HistoricalStore) AssertAt(t tuple.Tuple, at temporal.Chronon) error {
 // the valid period. Versions partially covered are trimmed; versions fully
 // covered disappear without trace.
 func (s *HistoricalStore) Retract(key tuple.Tuple, valid temporal.Interval) error {
+	countWrite(Historical)
 	if valid.IsEmpty() || !valid.IsValid() {
 		return ErrEmptyValidPeriod
 	}
@@ -162,6 +165,7 @@ func (s *HistoricalStore) carve(key tuple.Tuple, valid temporal.Interval) int {
 // TimeSlice returns the tuples believed valid at instant t — the historical
 // database "always views tuples valid at some moment as of now" (§4.4).
 func (s *HistoricalStore) TimeSlice(t temporal.Chronon) []tuple.Tuple {
+	countRead(Historical)
 	var out []tuple.Tuple
 	s.byValid.Stab(t, func(_ temporal.Interval, pos int) bool {
 		if s.rows[pos].live {
@@ -175,6 +179,7 @@ func (s *HistoricalStore) TimeSlice(t temporal.Chronon) []tuple.Tuple {
 // When returns the versions whose valid period overlaps the query interval,
 // with their valid stamps — the primitive behind TQuel's when clause.
 func (s *HistoricalStore) When(q temporal.Interval) []Version {
+	countRead(Historical)
 	var out []Version
 	s.byValid.Overlapping(q, func(iv temporal.Interval, pos int) bool {
 		if s.rows[pos].live {
@@ -187,6 +192,7 @@ func (s *HistoricalStore) When(q temporal.Interval) []Version {
 
 // History returns all live versions for the given key in valid-time order.
 func (s *HistoricalStore) History(key tuple.Tuple) []Version {
+	countRead(Historical)
 	var out []Version
 	for _, pos := range s.byKey.Lookup(key.Hash64()) {
 		row := s.rows[pos]

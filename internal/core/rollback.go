@@ -81,6 +81,7 @@ func (s *RollbackStore) LastCommit() temporal.Chronon { return s.lastCommit }
 // static database, "a tuple becomes valid as soon as it is entered": there
 // is no way to record retroactive or postactive information here.
 func (s *RollbackStore) Insert(t tuple.Tuple, at temporal.Chronon) error {
+	countWrite(StaticRollback)
 	if err := validate(s.sch, t); err != nil {
 		return err
 	}
@@ -99,6 +100,7 @@ func (s *RollbackStore) Insert(t tuple.Tuple, at temporal.Chronon) error {
 // commit time at. The version remains reachable through AsOf forever:
 // errors "can sometimes be overridden ... but they cannot be forgotten".
 func (s *RollbackStore) Delete(key tuple.Tuple, at temporal.Chronon) error {
+	countWrite(StaticRollback)
 	if err := s.admit(at); err != nil {
 		return err
 	}
@@ -113,6 +115,7 @@ func (s *RollbackStore) Delete(key tuple.Tuple, at temporal.Chronon) error {
 // Replace substitutes the tuple with the given key at commit time at,
 // closing the old version and appending the new one.
 func (s *RollbackStore) Replace(key tuple.Tuple, t tuple.Tuple, at temporal.Chronon) error {
+	countWrite(StaticRollback)
 	if err := validate(s.sch, t); err != nil {
 		return err
 	}
@@ -136,6 +139,7 @@ func (s *RollbackStore) Replace(key tuple.Tuple, t tuple.Tuple, at temporal.Chro
 
 // Get returns the current tuple with the given key.
 func (s *RollbackStore) Get(key tuple.Tuple) (tuple.Tuple, bool) {
+	countRead(StaticRollback)
 	pos, ok := s.current(key)
 	if !ok {
 		return nil, false
@@ -147,6 +151,7 @@ func (s *RollbackStore) Get(key tuple.Tuple) (tuple.Tuple, bool) {
 // was current at transaction time t. The result of rollback on a static
 // rollback relation is a pure static relation (§4.2).
 func (s *RollbackStore) AsOf(t temporal.Chronon) []tuple.Tuple {
+	countRead(StaticRollback)
 	var out []tuple.Tuple
 	if s.useIndex {
 		s.byTrans.Stab(t, func(_ temporal.Interval, pos int) bool {
@@ -168,6 +173,7 @@ func (s *RollbackStore) AsOf(t temporal.Chronon) []tuple.Tuple {
 // "as of E1 through E2", which views the database across a span of its own
 // history rather than at one instant.
 func (s *RollbackStore) During(window temporal.Interval) []Version {
+	countRead(StaticRollback)
 	var out []Version
 	s.byTrans.Overlapping(window, func(iv temporal.Interval, pos int) bool {
 		out = append(out, Version{Data: s.rows[pos].data, Valid: temporal.All, Trans: iv})
@@ -178,6 +184,7 @@ func (s *RollbackStore) During(window temporal.Interval) []Version {
 
 // Snapshot returns the current state.
 func (s *RollbackStore) Snapshot(now temporal.Chronon) []tuple.Tuple {
+	countRead(StaticRollback)
 	var out []tuple.Tuple
 	for _, row := range s.rows {
 		if row.trans.To == temporal.Forever {

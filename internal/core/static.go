@@ -52,6 +52,7 @@ func (s *StaticStore) Len() int { return s.byKey.Len() }
 // Insert adds a tuple to the current state. It fails with ErrDuplicateKey
 // if a tuple with the same key is present.
 func (s *StaticStore) Insert(t tuple.Tuple) error {
+	countWrite(Static)
 	if err := validate(s.sch, t); err != nil {
 		return err
 	}
@@ -72,6 +73,7 @@ func (s *StaticStore) Insert(t tuple.Tuple) error {
 
 // Delete removes the tuple with the given key; the old state is forgotten.
 func (s *StaticStore) Delete(key tuple.Tuple) error {
+	countWrite(Static)
 	pos, ok := s.lookup(key)
 	if !ok {
 		return ErrNoSuchTuple
@@ -93,6 +95,7 @@ func (s *StaticStore) Delete(key tuple.Tuple) error {
 // forgotten (the replacement "takes effect as soon as it is committed" and
 // the past is discarded, §4.1).
 func (s *StaticStore) Replace(key tuple.Tuple, t tuple.Tuple) error {
+	countWrite(Static)
 	if err := validate(s.sch, t); err != nil {
 		return err
 	}
@@ -138,6 +141,7 @@ func (s *StaticStore) popFree(pos int) {
 
 // Get returns the current tuple with the given key.
 func (s *StaticStore) Get(key tuple.Tuple) (tuple.Tuple, bool) {
+	countRead(Static)
 	pos, ok := s.lookup(key)
 	if !ok {
 		return nil, false
@@ -148,6 +152,11 @@ func (s *StaticStore) Get(key tuple.Tuple) (tuple.Tuple, bool) {
 // Scan calls fn for every tuple in the current state, stopping early if fn
 // returns false.
 func (s *StaticStore) Scan(fn func(tuple.Tuple) bool) {
+	countRead(Static)
+	s.scan(fn)
+}
+
+func (s *StaticStore) scan(fn func(tuple.Tuple) bool) {
 	for _, row := range s.rows {
 		if row == nil {
 			continue
@@ -161,7 +170,8 @@ func (s *StaticStore) Scan(fn func(tuple.Tuple) bool) {
 // Versions presents the current state as versions stamped with the
 // universal interval on both axes: a static relation carries no time.
 func (s *StaticStore) Versions(fn func(Version) bool) {
-	s.Scan(func(t tuple.Tuple) bool {
+	countRead(Static)
+	s.scan(func(t tuple.Tuple) bool {
 		return fn(Version{Data: t, Valid: temporal.All, Trans: temporal.All})
 	})
 }
@@ -169,8 +179,9 @@ func (s *StaticStore) Versions(fn func(Version) bool) {
 // Snapshot returns the current state; now is ignored, since a static
 // relation has no other state to offer.
 func (s *StaticStore) Snapshot(temporal.Chronon) []tuple.Tuple {
+	countRead(Static)
 	out := make([]tuple.Tuple, 0, s.Len())
-	s.Scan(func(t tuple.Tuple) bool {
+	s.scan(func(t tuple.Tuple) bool {
 		out = append(out, t)
 		return true
 	})

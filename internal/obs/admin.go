@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminOptions configure NewAdminMux.
+type AdminOptions struct {
+	// Health reports process health; nil means always healthy. A non-nil
+	// error turns /healthz into a 503 carrying the error text.
+	Health func() error
+	// Statz supplies extra application state (database stats, build info)
+	// merged into the /statz document under "app".
+	Statz func() map[string]any
+}
+
+// NewAdminMux builds the admin endpoint over a registry:
+//
+//	/metrics      Prometheus text exposition
+//	/healthz      "ok" or 503 with the failure
+//	/statz        JSON snapshot of every metric (+ app state)
+//	/debug/pprof  the standard runtime profiles
+//
+// The mux is intended for a loopback or otherwise trusted listener; it
+// performs no authentication.
+func NewAdminMux(reg *Registry, opts AdminOptions) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.Health != nil {
+			if err := opts.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, _ *http.Request) {
+		doc := map[string]any{"metrics": reg.Snapshot()}
+		if opts.Statz != nil {
+			doc["app"] = opts.Statz()
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := goldenRegistry()
+	mux := NewAdminMux(reg, AdminOptions{
+		Statz: func() map[string]any { return map[string]any{"relations": 4} },
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE tdb_server_commands_total counter",
+		"tdb_server_commands_total 7",
+		`tdb_core_writes_total{kind="static"} 3`,
+		`tdb_server_command_seconds_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/statz")
+	if code != http.StatusOK {
+		t.Fatalf("/statz status = %d", code)
+	}
+	var doc struct {
+		Metrics []Point        `json:"metrics"`
+		App     map[string]any `json:"app"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/statz not JSON: %v", err)
+	}
+	if len(doc.Metrics) == 0 || doc.App["relations"] != float64(4) {
+		t.Errorf("/statz content: %+v", doc)
+	}
+
+	code, _ = get(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+}
+
+func TestAdminHealthzUnhealthy(t *testing.T) {
+	mux := NewAdminMux(NewRegistry(), AdminOptions{
+		Health: func() error { return errors.New("wal: disk full") },
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "disk full") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+}

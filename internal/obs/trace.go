@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+)
+
+// Tracer observes execution spans: query phases, store operations, any
+// region worth timing. Implementations must be safe for concurrent use.
+//
+// Instrumented code holds a possibly-nil Tracer and guards every use with
+// a nil check, so an uninstrumented hot path costs one predictable branch
+// and zero allocations:
+//
+//	var sp obs.Span
+//	if t.tracer != nil {
+//		sp = t.tracer.Start("execute")
+//	}
+//	... work ...
+//	if sp != nil {
+//		sp.Note("rows_scanned", n)
+//		sp.End()
+//	}
+type Tracer interface {
+	// Start begins a span. The returned Span is owned by the caller and
+	// must be finished with End exactly once.
+	Start(name string) Span
+}
+
+// Span is one timed region in flight.
+type Span interface {
+	// Note attaches a named integer observation (rows scanned, bytes
+	// written) to the span.
+	Note(key string, v int64)
+	// End finishes the span, recording its duration.
+	End()
+}
+
+// NewRegistryTracer returns a Tracer that aggregates spans into reg: span
+// durations land in `<prefix>_span_seconds{span="<name>"}` histograms and
+// notes accumulate into `<prefix>_span_note_total{span="<name>",key="<key>"}`
+// counters. It keeps no per-span state beyond the start time, so it is
+// suitable for production use.
+func NewRegistryTracer(reg *Registry, prefix string) Tracer {
+	return &registryTracer{reg: reg, prefix: prefix}
+}
+
+type registryTracer struct {
+	reg    *Registry
+	prefix string
+}
+
+func (t *registryTracer) Start(name string) Span {
+	h := t.reg.Histogram(
+		fmt.Sprintf("%s_span_seconds{span=%q}", t.prefix, name),
+		"Span duration by span name.", TimeBuckets)
+	return &registrySpan{t: t, name: name, dur: h, start: time.Now()}
+}
+
+type registrySpan struct {
+	t     *registryTracer
+	name  string
+	dur   *Histogram
+	start time.Time
+}
+
+func (s *registrySpan) Note(key string, v int64) {
+	c := s.t.reg.Counter(
+		fmt.Sprintf("%s_span_note_total{span=%q,key=%q}", s.t.prefix, s.name, key),
+		"Sum of span note values by span and key.")
+	if v > 0 {
+		c.Add(uint64(v))
+	}
+}
+
+func (s *registrySpan) End() { s.dur.ObserveSince(s.start) }
+
+// NewLogTracer returns a Tracer that prints one line per finished span to
+// the logger — the debugging flavor: `span=parse dur=112µs rows_scanned=40`.
+func NewLogTracer(l *log.Logger) Tracer { return &logTracer{l: l} }
+
+type logTracer struct{ l *log.Logger }
+
+func (t *logTracer) Start(name string) Span {
+	return &logSpan{l: t.l, name: name, start: time.Now()}
+}
+
+type logSpan struct {
+	l     *log.Logger
+	name  string
+	notes strings.Builder
+	start time.Time
+}
+
+func (s *logSpan) Note(key string, v int64) {
+	fmt.Fprintf(&s.notes, " %s=%d", key, v)
+}
+
+func (s *logSpan) End() {
+	s.l.Printf("span=%s dur=%s%s", s.name, time.Since(s.start), s.notes.String())
+}
+
+// MultiTracer fans spans out to several tracers; useful for logging and
+// aggregating the same spans.
+func MultiTracer(ts ...Tracer) Tracer {
+	switch len(ts) {
+	case 0:
+		return nil
+	case 1:
+		return ts[0]
+	}
+	return multiTracer(ts)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Start(name string) Span {
+	spans := make(multiSpan, len(m))
+	for i, t := range m {
+		spans[i] = t.Start(name)
+	}
+	return spans
+}
+
+type multiSpan []Span
+
+func (m multiSpan) Note(key string, v int64) {
+	for _, s := range m {
+		s.Note(key, v)
+	}
+}
+
+func (m multiSpan) End() {
+	for _, s := range m {
+		s.End()
+	}
+}

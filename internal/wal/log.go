@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 )
 
 // Frame layout on disk: 4-byte big-endian payload length, 4-byte big-endian
@@ -61,10 +62,14 @@ func (l *Log) Append(r Record) error {
 	if _, err := l.f.Write(frame); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	mRecords.Inc()
+	mBytes.Add(uint64(len(frame)))
 	if l.sync {
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
+		mFsync.ObserveSince(start)
 	}
 	return nil
 }

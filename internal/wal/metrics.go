@@ -1,0 +1,16 @@
+package wal
+
+import "tdb/internal/obs"
+
+var (
+	mRecords = obs.Default.Counter("tdb_wal_records_total",
+		"Transaction records appended to the write-ahead log.")
+	mBytes = obs.Default.Counter("tdb_wal_bytes_total",
+		"Bytes appended to the write-ahead log, frame headers included.")
+	mFsync = obs.Default.Histogram("tdb_wal_fsync_seconds",
+		"Write-ahead log fsync latency.", obs.TimeBuckets)
+	mSnapshot = obs.Default.Histogram("tdb_wal_snapshot_seconds",
+		"Checkpoint snapshot write duration.", obs.TimeBuckets)
+	mSnapshotBytes = obs.Default.Counter("tdb_wal_snapshot_bytes_total",
+		"Bytes written across all checkpoint snapshots.")
+)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"time"
 
 	"tdb/internal/core"
 	"tdb/internal/schema"
@@ -150,6 +151,7 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 // WriteSnapshot atomically writes the snapshot to path: a temp file in the
 // same directory, fsynced, then renamed over the destination.
 func WriteSnapshot(path string, s Snapshot) error {
+	start := time.Now()
 	data := EncodeSnapshot(s)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
@@ -174,6 +176,8 @@ func WriteSnapshot(path string, s Snapshot) error {
 		os.Remove(tmp)
 		return fmt.Errorf("wal: snapshot rename: %w", err)
 	}
+	mSnapshot.ObserveSince(start)
+	mSnapshotBytes.Add(uint64(len(data)))
 	return nil
 }
 

@@ -1,0 +1,18 @@
+package server
+
+import "tdb/internal/obs"
+
+var (
+	mConnsOpen = obs.Default.Gauge("tdb_server_connections_open",
+		"Connections currently being served.")
+	mConnsTotal = obs.Default.Counter("tdb_server_connections_total",
+		"Connections accepted since process start.")
+	mCommandsTotal = obs.Default.Counter("tdb_server_commands_total",
+		"Protocol commands (request lines) served.")
+	mCommandSeconds = obs.Default.Histogram("tdb_server_command_seconds",
+		"End-to-end command latency: decode, execute, encode.", obs.TimeBuckets)
+	mMalformedTotal = obs.Default.Counter("tdb_server_malformed_total",
+		"Malformed protocol lines: undecodable JSON or oversized frames.")
+	mSlowTotal = obs.Default.Counter("tdb_server_slow_queries_total",
+		"Commands slower than the server's slow-query threshold.")
+)

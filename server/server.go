@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"tdb"
+	"tdb/internal/obs"
 	"tdb/tquel"
 )
 
@@ -19,6 +22,16 @@ import (
 type Server struct {
 	db     *tdb.DB
 	logger *log.Logger
+
+	// SlowQueryThreshold, when positive, logs (and counts) any command
+	// whose end-to-end handling takes at least this long. Set it before
+	// Serve; it is read concurrently afterwards.
+	SlowQueryThreshold time.Duration
+
+	// QueryTracer, when non-nil, is installed on every connection's TQuel
+	// session so query phases (parse/analyze/execute) are traced. Set it
+	// before Serve. Leave nil for the zero-overhead path.
+	QueryTracer obs.Tracer
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -31,14 +44,10 @@ type Server struct {
 // diagnostics.
 func New(db *tdb.DB, logger *log.Logger) *Server {
 	if logger == nil {
-		logger = log.New(discard{}, "", 0)
+		logger = log.New(io.Discard, "", 0)
 	}
 	return &Server{db: db, logger: logger, conns: make(map[net.Conn]struct{})}
 }
-
-type discard struct{}
-
-func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
 // Serve accepts connections until the listener is closed (by Close).
 func (s *Server) Serve(l net.Listener) error {
@@ -95,10 +104,14 @@ func (s *Server) Addr() net.Addr {
 
 // Close stops accepting, closes every live connection, and waits for the
 // handlers to drain. The database itself is not closed; the caller owns it.
+// Close is idempotent, and every call waits for the drain to complete, so
+// a caller racing a concurrent Close still gets the "handlers finished"
+// guarantee on return.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return nil
 	}
 	s.closed = true
@@ -116,13 +129,19 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	mConnsTotal.Inc()
+	mConnsOpen.Inc()
 	defer func() {
+		mConnsOpen.Dec()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 	ses := tquel.NewSession(s.db)
+	if s.QueryTracer != nil {
+		ses.SetTracer(s.QueryTracer)
+	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), maxLine)
 	w := bufio.NewWriter(conn)
@@ -131,9 +150,12 @@ func (s *Server) handle(conn net.Conn) {
 		if len(strings.TrimSpace(string(line))) == 0 {
 			continue
 		}
+		start := time.Now()
 		var req Request
 		resp := Response{}
 		if err := json.Unmarshal(line, &req); err != nil {
+			mMalformedTotal.Inc()
+			s.logger.Printf("malformed request from %s: %v", conn.RemoteAddr(), err)
 			resp.Error = fmt.Sprintf("malformed request: %v", err)
 		} else {
 			outs, err := ses.Exec(req.Src)
@@ -161,8 +183,34 @@ func (s *Server) handle(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+		elapsed := time.Since(start)
+		mCommandsTotal.Inc()
+		mCommandSeconds.Observe(elapsed.Seconds())
+		if t := s.SlowQueryThreshold; t > 0 && elapsed >= t {
+			mSlowTotal.Inc()
+			s.logger.Printf("slow query from %s (%s): %s",
+				conn.RemoteAddr(), elapsed, truncate(req.Src, 200))
+		}
 	}
+	// A scanner error here is a protocol violation or transport failure
+	// that forced the disconnect — count and log it rather than dropping it
+	// silently. bufio.ErrTooLong is the malformed-protocol case: a frame
+	// over maxLine.
 	if err := sc.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+		if errors.Is(err, bufio.ErrTooLong) {
+			mMalformedTotal.Inc()
+			s.logger.Printf("malformed protocol from %s: %v (disconnecting)",
+				conn.RemoteAddr(), err)
+			return
+		}
 		s.logger.Printf("connection read: %v", err)
 	}
+}
+
+// truncate bounds a string for log lines.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tdb"
+	"tdb/internal/obs"
 	"tdb/internal/value"
 	"tdb/temporal"
 )
@@ -16,6 +17,7 @@ type Session struct {
 	db     *tdb.DB
 	ranges map[string]string // variable -> relation name
 	now    func() temporal.Chronon
+	tracer obs.Tracer // nil unless SetTracer installed one
 }
 
 // NewSession opens a session on the database. The "now" spelling in
@@ -34,19 +36,36 @@ func NewSession(db *tdb.DB) *Session {
 // chronon instead.
 func (s *Session) SetNow(fn func() temporal.Chronon) { s.now = fn }
 
+// SetTracer installs a tracer that observes this session's query phases
+// (parse, analyze, execute) with row-count notes. A nil tracer (the
+// default) restores the uninstrumented path, which performs no tracing
+// work beyond one nil check per phase.
+func (s *Session) SetTracer(t obs.Tracer) { s.tracer = t }
+
 // Exec parses and executes TQuel source, returning one outcome per
 // statement. Execution stops at the first failing statement.
 func (s *Session) Exec(src string) ([]*Outcome, error) {
+	var sp obs.Span
+	if s.tracer != nil {
+		sp = s.tracer.Start("parse")
+	}
 	stmts, err := Parse(src)
+	if sp != nil {
+		sp.Note("statements", int64(len(stmts)))
+		sp.End()
+	}
 	if err != nil {
+		mStatementErrors.Inc()
 		return nil, err
 	}
 	var out []*Outcome
 	for _, st := range stmts {
 		o, err := s.exec(st)
 		if err != nil {
+			mStatementErrors.Inc()
 			return out, err
 		}
+		countStmt(o.Stmt)
 		out = append(out, o)
 	}
 	return out, nil
@@ -189,9 +208,34 @@ func targetVarSet(n *RetrieveStmt) map[string]bool {
 }
 
 func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
-	if err := s.checkRetrieve(n); err != nil {
+	var sp obs.Span
+	if s.tracer != nil {
+		sp = s.tracer.Start("analyze")
+	}
+	err := s.checkRetrieve(n)
+	if sp != nil {
+		sp.End()
+	}
+	if err != nil {
 		return nil, err
 	}
+	// Per-row tallies accumulate in locals; the atomic counters (and the
+	// execute span, when a tracer is installed) are settled once on the way
+	// out.
+	var scanned, returned int64
+	var execSp obs.Span
+	if s.tracer != nil {
+		execSp = s.tracer.Start("execute")
+	}
+	defer func() {
+		mRowsScanned.Add(uint64(scanned))
+		mRowsReturned.Add(uint64(returned))
+		if execSp != nil {
+			execSp.Note("rows_scanned", scanned)
+			execSp.Note("rows_returned", returned)
+			execSp.End()
+		}
+	}()
 	ev := &env{vars: map[string]*binding{}, now: s.now()}
 
 	// Rollback instant(s): evaluated before binding any variables — the as
@@ -278,6 +322,7 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 		if depth < len(order) {
 			v := order[depth]
 			for _, ver := range versions[depth] {
+				scanned++
 				ev.vars[v] = &binding{rel: rels[depth], data: ver.Data, valid: ver.Valid, trans: ver.Trans}
 				if err := emit(depth + 1); err != nil {
 					return err
@@ -352,6 +397,7 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 		}
 	}
 	res.sortAndDedup()
+	returned = int64(len(res.Rows))
 
 	if n.Into != "" {
 		if err := s.storeInto(n, res); err != nil {

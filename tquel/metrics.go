@@ -1,0 +1,35 @@
+package tquel
+
+import "tdb/internal/obs"
+
+// Always-on query counters. Per-row work accumulates in locals inside the
+// executor and lands here as one atomic add per statement, so the scan loop
+// itself carries no instrumentation cost.
+var (
+	mRowsScanned = obs.Default.Counter("tdb_query_rows_scanned_total",
+		"Tuple versions bound while evaluating retrieve statements.")
+	mRowsReturned = obs.Default.Counter("tdb_query_rows_returned_total",
+		"Result rows produced by retrieve statements (before into-storage).")
+	mStatements = map[string]*obs.Counter{
+		"create":   stmtCounter("create"),
+		"destroy":  stmtCounter("destroy"),
+		"range":    stmtCounter("range"),
+		"retrieve": stmtCounter("retrieve"),
+		"append":   stmtCounter("append"),
+		"delete":   stmtCounter("delete"),
+		"replace":  stmtCounter("replace"),
+	}
+	mStatementErrors = obs.Default.Counter("tdb_query_statement_errors_total",
+		"Statements that failed to execute.")
+)
+
+func stmtCounter(kind string) *obs.Counter {
+	return obs.Default.Counter(`tdb_query_statements_total{stmt="`+kind+`"}`,
+		"Statements executed by kind.")
+}
+
+func countStmt(kind string) {
+	if c, ok := mStatements[kind]; ok {
+		c.Inc()
+	}
+}
