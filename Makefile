@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race test-noplanner bench bench-smoke bench-json
 
-check: fmt vet build race
+check: fmt vet build race test-noplanner
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -23,5 +23,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Ablation run: the whole suite with the TQuel query planner disabled, so
+# the naive nested-loop path stays correct (differential tests compare the
+# two paths inside a single process; this job exercises everything else on
+# the ablation path too).
+test-noplanner:
+	TDB_DISABLE_PLANNER=1 $(GO) test ./...
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that fail without
+# paying for stable numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# The PR 2 planner benchmarks, rendered as committed JSON.
+bench-json:
+	$(GO) test -run '^$$' -benchmem \
+		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere' \
+		./tquel | $(GO) run ./cmd/benchjson > BENCH_PR2.json

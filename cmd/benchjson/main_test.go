@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: tdb/tquel
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkJoinEquiSelective/planner=on-8         	      10	 160623020 ns/op	35351992 B/op	 1593483 allocs/op
+BenchmarkJoinEquiSelective/planner=off-8        	       1	4201947861 ns/op	1635378672 B/op	26593892 allocs/op
+BenchmarkEvalWhere          	  500000	      2755 ns/op
+--- PASS: TestSomething (0.00s)
+PASS
+ok  	tdb/tquel	4.392s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("metadata = %q %q %q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkJoinEquiSelective/planner=on" {
+		t.Errorf("name = %q (the -8 GOMAXPROCS suffix must be stripped)", r.Name)
+	}
+	if r.Pkg != "tdb/tquel" || r.Iterations != 10 || r.NsPerOp != 160623020 {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if r.BytesPerOp != 35351992 || r.AllocsPerOp != 1593483 {
+		t.Errorf("memstats = %d B/op, %d allocs/op", r.BytesPerOp, r.AllocsPerOp)
+	}
+	// Lines without -benchmem columns still parse.
+	if r := rep.Results[2]; r.Name != "BenchmarkEvalWhere" || r.NsPerOp != 2755 || r.BytesPerOp != 0 {
+		t.Errorf("result 2 = %+v", r)
+	}
+}

@@ -26,6 +26,17 @@ type bucket struct {
 
 const minBuckets = 16
 
+// NewHashSized returns a Hash preallocated for about n distinct hashes, so
+// bulk builds (the TQuel equi-join build side hashes its whole input at
+// once) skip the rehash-and-copy doublings.
+func NewHashSized(n int) *Hash {
+	buckets := minBuckets
+	for buckets*3 < n*4 { // invert the 0.75 load factor
+		buckets *= 2
+	}
+	return &Hash{buckets: make([]bucket, buckets)}
+}
+
 // Add records a posting under the given hash.
 func (h *Hash) Add(hash uint64, pos int) {
 	if h.buckets == nil {

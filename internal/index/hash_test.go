@@ -96,3 +96,30 @@ func TestHashCollidingHashesShareBucket(t *testing.T) {
 		t.Errorf("colliding postings = %v", got)
 	}
 }
+
+func TestNewHashSized(t *testing.T) {
+	for _, n := range []int{0, 1, 11, 12, 13, 1000, 5000} {
+		h := NewHashSized(n)
+		if got := len(h.buckets); got < minBuckets || got&(got-1) != 0 {
+			t.Fatalf("NewHashSized(%d): %d buckets, want a power of two >= %d", n, got, minBuckets)
+		}
+		// The preallocation must clear the 0.75 load factor for n distinct
+		// hashes, so a bulk build of n keys never grows.
+		if n > 0 && 4*n > 3*len(h.buckets) {
+			t.Fatalf("NewHashSized(%d): %d buckets breaches the load factor", n, len(h.buckets))
+		}
+		before := len(h.buckets)
+		for i := 0; i < n; i++ {
+			h.Add(uint64(i)*2654435761, i)
+		}
+		if len(h.buckets) != before {
+			t.Errorf("NewHashSized(%d) grew from %d to %d buckets during bulk build",
+				n, before, len(h.buckets))
+		}
+		for i := 0; i < n; i++ {
+			if got := h.Lookup(uint64(i) * 2654435761); len(got) != 1 || got[0] != i {
+				t.Fatalf("NewHashSized(%d): Lookup(%d) = %v", n, i, got)
+			}
+		}
+	}
+}

@@ -227,6 +227,34 @@ func (r *Relation) VisibleVersions(asOf temporal.Chronon, hasAsOf bool) ([]Versi
 	return out, nil
 }
 
+// VersionsWhen returns the visible versions (in the sense of
+// VisibleVersions) whose valid period overlaps q, answered through the
+// store's valid-time paths — the interval-tree-indexed When for historical
+// relations, the transaction-filtered When for temporal ones. The second
+// result reports whether the store supports the pushed path; when false the
+// caller must fall back to filtering VisibleVersions itself. The TQuel
+// planner routes single-variable "v overlap E" when-conjuncts through here.
+func (r *Relation) VersionsWhen(q temporal.Interval, asOf temporal.Chronon, hasAsOf bool) ([]Version, bool, error) {
+	r.db.mu.RLock()
+	defer r.db.mu.RUnlock()
+	st := r.rel.Store()
+	if hasAsOf && !st.Kind().SupportsRollback() {
+		return nil, false, ErrNoRollback
+	}
+	switch s := st.(type) {
+	case *core.HistoricalStore:
+		return s.When(q), true, nil
+	case *core.TemporalStore:
+		probe := temporal.Forever - 1
+		if hasAsOf {
+			probe = asOf
+		}
+		return s.When(q, probe), true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
 // VersionsDuring returns every version that belonged to some believed
 // database state during the transaction-time window [from, through]
 // (inclusive of both rollback instants) — TQuel's "as of E1 through E2".

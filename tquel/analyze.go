@@ -92,6 +92,7 @@ func (s *Session) checkExpr(e Expr) (tdb.ValueKind, error) {
 		if idx < 0 {
 			return 0, errf(n.Pos, "relation %q has no attribute %q", rel.Name(), n.Attr)
 		}
+		n.idx = idx + 1
 		return rel.Schema().Attr(idx).Type, nil
 	case *Cmp:
 		lk, err := s.checkExpr(n.L)

@@ -130,6 +130,12 @@ type AttrRef struct {
 	Pos  Pos
 	Var  string
 	Attr string
+
+	// idx caches the attribute's schema offset plus one, resolved during
+	// analysis so evaluation indexes the tuple directly instead of doing a
+	// per-row name lookup. Zero means unresolved (paths that skip analysis,
+	// like append/delete/replace set clauses, fall back to the lookup).
+	idx int
 }
 
 // Lit is a literal value (string, int, float, or the booleans/date

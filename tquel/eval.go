@@ -31,9 +31,11 @@ func evalExpr(e Expr, ev *env) (tdb.Value, error) {
 		if !ok {
 			return tdb.Value{}, errf(n.Pos, "unknown range variable %q", n.Var)
 		}
-		idx := b.rel.Schema().Index(n.Attr)
+		idx := n.idx - 1
 		if idx < 0 {
-			return tdb.Value{}, errf(n.Pos, "relation %q has no attribute %q", b.rel.Name(), n.Attr)
+			if idx = b.rel.Schema().Index(n.Attr); idx < 0 {
+				return tdb.Value{}, errf(n.Pos, "relation %q has no attribute %q", b.rel.Name(), n.Attr)
+			}
 		}
 		return b.data[idx], nil
 	case *Cmp:

@@ -3,6 +3,7 @@ package tquel
 import (
 	"errors"
 	"fmt"
+	"os"
 
 	"tdb"
 	"tdb/internal/obs"
@@ -14,22 +15,36 @@ import (
 // declarations persist across Exec calls, as in an interactive Quel
 // session. A Session is not safe for concurrent use; open one per client.
 type Session struct {
-	db     *tdb.DB
-	ranges map[string]string // variable -> relation name
-	now    func() temporal.Chronon
-	tracer obs.Tracer // nil unless SetTracer installed one
+	db        *tdb.DB
+	ranges    map[string]string // variable -> relation name
+	now       func() temporal.Chronon
+	tracer    obs.Tracer // nil unless SetTracer installed one
+	noPlanner bool
+	lastPlan  *queryPlan // most recent compiled retrieve, for tests
 }
 
 // NewSession opens a session on the database. The "now" spelling in
 // queries resolves via the system clock by default; override with SetNow
-// for deterministic replay.
+// for deterministic replay. Setting the TDB_DISABLE_PLANNER environment
+// variable (to anything but "0" or "false") opens sessions with the query
+// planner disabled, so a whole test suite can run the ablation.
 func NewSession(db *tdb.DB) *Session {
-	return &Session{
+	s := &Session{
 		db:     db,
 		ranges: make(map[string]string),
 		now:    func() temporal.Chronon { return temporal.SystemClock{}.Now() },
 	}
+	if v := os.Getenv("TDB_DISABLE_PLANNER"); v != "" && v != "0" && v != "false" {
+		s.noPlanner = true
+	}
+	return s
 }
+
+// DisablePlanner switches retrieve execution to the naive nested-loop path
+// with every predicate evaluated at the innermost binding depth — the
+// ablation mirror of core's DisableIntervalIndex. The planner is on by
+// default; differential tests assert both paths agree.
+func (s *Session) DisablePlanner(disabled bool) { s.noPlanner = disabled }
 
 // SetNow overrides the session's notion of the current instant ("now" in
 // queries). Update statements always use their transaction's commit
@@ -221,18 +236,23 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 	}
 	// Per-row tallies accumulate in locals; the atomic counters (and the
 	// execute span, when a tracer is installed) are settled once on the way
-	// out.
-	var scanned, returned int64
+	// out. scanned counts bindings examined per variable: each time a
+	// candidate version is bound to a range variable — during planner
+	// prefiltering or inside the join loop — it counts once. joinPairs
+	// counts the bindings examined at inner depths (depth ≥ 1), the join
+	// work the old outer-rebinding accounting made invisible.
+	var scanned, returned, probes, joinPairs int64
 	var execSp obs.Span
-	if s.tracer != nil {
-		execSp = s.tracer.Start("execute")
-	}
 	defer func() {
 		mRowsScanned.Add(uint64(scanned))
 		mRowsReturned.Add(uint64(returned))
+		mHashJoinProbes.Add(uint64(probes))
+		mJoinPairs.Add(uint64(joinPairs))
 		if execSp != nil {
 			execSp.Note("rows_scanned", scanned)
 			execSp.Note("rows_returned", returned)
+			execSp.Note("hash_probes", probes)
+			execSp.Note("join_pairs", joinPairs)
 			execSp.End()
 		}
 	}()
@@ -264,7 +284,6 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 
 	order := retrieveVars(n)
 	rels := make([]*tdb.Relation, len(order))
-	versions := make([][]tdb.Version, len(order))
 	res := &Resultset{}
 	for i, v := range order {
 		rel, err := s.resolveVar(n.Pos, v)
@@ -272,16 +291,6 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 			return nil, err
 		}
 		rels[i] = rel
-		var vs []tdb.Version
-		if hasThrough {
-			vs, err = rel.VersionsDuring(asOf, through)
-		} else {
-			vs, err = rel.VisibleVersions(asOf, hasAsOf)
-		}
-		if err != nil {
-			return nil, errf(n.Pos, "%s: %v", rel.Name(), err)
-		}
-		versions[i] = vs
 		if rel.Kind().SupportsHistorical() {
 			res.HasValid = true
 		}
@@ -317,33 +326,8 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 	if hasAggregates(n.Targets) {
 		agg = newAggregator(n.Targets)
 	}
-	var emit func(depth int) error
-	emit = func(depth int) error {
-		if depth < len(order) {
-			v := order[depth]
-			for _, ver := range versions[depth] {
-				scanned++
-				ev.vars[v] = &binding{rel: rels[depth], data: ver.Data, valid: ver.Valid, trans: ver.Trans}
-				if err := emit(depth + 1); err != nil {
-					return err
-				}
-			}
-			delete(ev.vars, v)
-			return nil
-		}
-		// All variables bound: filter, stamp, project.
-		if n.Where != nil {
-			ok, err := evalPred(n.Where, ev)
-			if err != nil || !ok {
-				return err
-			}
-		}
-		if n.When != nil {
-			ok, err := evalTemporalPred(n.When, ev)
-			if err != nil || !ok {
-				return err
-			}
-		}
+	// emitRow runs with all variables bound: stamp, project, fold.
+	emitRow := func() error {
 		row := ResultRow{Valid: temporal.All, Trans: temporal.All}
 		// Derived valid period.
 		switch {
@@ -378,6 +362,7 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 		if agg != nil {
 			return agg.add(ev, row.Valid, row.Trans)
 		}
+		row.Data = make(tdb.Tuple, 0, len(n.Targets))
 		for _, t := range n.Targets {
 			v, err := evalExpr(t.Expr, ev)
 			if err != nil {
@@ -388,8 +373,134 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 		res.Rows = append(res.Rows, row)
 		return nil
 	}
-	if err := emit(0); err != nil {
-		return nil, err
+
+	if s.noPlanner {
+		// Ablation path: materialize every variable's visible versions and
+		// run the naive nested-loop product, all predicates innermost.
+		versions := make([][]tdb.Version, len(order))
+		for i, rel := range rels {
+			var vs []tdb.Version
+			var err error
+			if hasThrough {
+				vs, err = rel.VersionsDuring(asOf, through)
+			} else {
+				vs, err = rel.VisibleVersions(asOf, hasAsOf)
+			}
+			if err != nil {
+				return nil, errf(n.Pos, "%s: %v", rel.Name(), err)
+			}
+			versions[i] = vs
+		}
+		if s.tracer != nil {
+			execSp = s.tracer.Start("execute")
+		}
+		var emit func(depth int) error
+		emit = func(depth int) error {
+			if depth < len(order) {
+				v := order[depth]
+				for _, ver := range versions[depth] {
+					scanned++
+					if depth > 0 {
+						joinPairs++
+					}
+					ev.vars[v] = &binding{rel: rels[depth], data: ver.Data, valid: ver.Valid, trans: ver.Trans}
+					if err := emit(depth + 1); err != nil {
+						return err
+					}
+				}
+				delete(ev.vars, v)
+				return nil
+			}
+			if n.Where != nil {
+				ok, err := evalPred(n.Where, ev)
+				if err != nil || !ok {
+					return err
+				}
+			}
+			if n.When != nil {
+				ok, err := evalTemporalPred(n.When, ev)
+				if err != nil || !ok {
+					return err
+				}
+			}
+			return emitRow()
+		}
+		if err := emit(0); err != nil {
+			return nil, err
+		}
+	} else {
+		var planSp obs.Span
+		if s.tracer != nil {
+			planSp = s.tracer.Start("plan")
+		}
+		pl, err := s.buildPlan(n, order, rels, ev, asOf, through, hasAsOf, hasThrough)
+		if planSp != nil {
+			if pl != nil {
+				planSp.Note("conjuncts_pushed", pl.pushed)
+				planSp.Note("when_indexed", pl.whenIndexed)
+				planSp.Note("build_rows", pl.buildRows)
+				planSp.Note("nested_loop_fallbacks", pl.fallbacks)
+			}
+			planSp.End()
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.lastPlan = pl
+		scanned += pl.prefiltered
+		mConjunctsPushed.Add(uint64(pl.pushed))
+		mWhenIndexed.Add(uint64(pl.whenIndexed))
+		mHashJoinBuildRows.Add(uint64(pl.buildRows))
+		mJoinFallbacks.Add(uint64(pl.fallbacks))
+		if s.tracer != nil {
+			execSp = s.tracer.Start("execute")
+		}
+		if agg == nil && len(pl.vars) > 0 {
+			res.Rows = make([]ResultRow, 0, min(len(pl.vars[0].versions), 1024))
+		}
+		var emit func(depth int) error
+		emit = func(depth int) error {
+			if depth == len(pl.vars) {
+				return emitRow()
+			}
+			pv := &pl.vars[depth]
+			b := pv.bind
+			ev.vars[pv.name] = b
+			step := func(ver *tdb.Version) error {
+				scanned++
+				if depth > 0 {
+					joinPairs++
+				}
+				b.data, b.valid, b.trans = ver.Data, ver.Valid, ver.Trans
+				ok, err := pv.admit(ev)
+				if err != nil || !ok {
+					return err
+				}
+				return emit(depth + 1)
+			}
+			if pv.join != nil {
+				probes++
+				key := joinHash(pv.join.probeBind.data[pv.join.probeIdx], pv.join.numeric)
+				for _, pos := range pv.join.table.Lookup(key) {
+					if err := step(&pv.versions[pos]); err != nil {
+						return err
+					}
+				}
+			} else {
+				for i := range pv.versions {
+					if err := step(&pv.versions[i]); err != nil {
+						return err
+					}
+				}
+			}
+			delete(ev.vars, pv.name)
+			return nil
+		}
+		if !pl.emptyResult {
+			if err := emit(0); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if agg != nil {
 		if err := agg.finish(res); err != nil {

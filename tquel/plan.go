@@ -1,0 +1,457 @@
+package tquel
+
+import (
+	"math"
+	"sort"
+
+	"tdb"
+	"tdb/internal/index"
+	"tdb/internal/value"
+	"tdb/temporal"
+)
+
+// The query planner. A retrieve over k range variables is naively a
+// nested-loop cross product with every predicate deferred to the innermost
+// depth — O(∏|Rᵢ|) bindings even when the where clause is a selective
+// equi-join. buildPlan compiles the statement into a queryPlan instead:
+//
+//  1. conjunct classification: the where AND-tree is split into
+//     variable-free conjuncts (settled once, before binding anything),
+//     single-variable conjuncts (applied to that variable's candidate list
+//     before the join loop starts), and residual multi-variable conjuncts
+//     (parked at the shallowest binding depth where every variable they
+//     mention is bound). The when AND-tree is split the same way.
+//  2. when pushdown: a single-variable "v overlap E" conjunct whose other
+//     side is variable-free is answered through the store's interval-indexed
+//     When path (Relation.VersionsWhen) instead of scan-then-filter.
+//  3. join ordering: variables bind in ascending filtered-cardinality
+//     order, so the cheapest variable drives the outermost loop.
+//  4. hash equi-joins: a residual "v1.a = v2.b" conjunct turns the inner
+//     variable's scan into a hash probe — the build side (the side left
+//     inner by the cardinality ordering, i.e. the larger one) is hashed
+//     once on its join attribute, and each outer binding probes instead of
+//     scanning. The conjunct itself stays residual, so hash collisions and
+//     numeric coercions are re-verified and the result is provably the one
+//     the nested loop computes.
+//
+// Session.DisablePlanner (and the TDB_DISABLE_PLANNER env var) restore the
+// naive path; TestPlannerDifferential asserts both agree.
+
+// queryPlan is a compiled retrieve statement, valid for one execution.
+type queryPlan struct {
+	vars []planVar
+
+	// emptyResult is set when a variable-free conjunct evaluated to false:
+	// no binding can ever qualify, so execution skips the join loop.
+	emptyResult bool
+
+	// Observability tallies, settled into counters by the executor.
+	pushed      int64 // single-variable conjuncts applied during prefiltering
+	whenIndexed int64 // when conjuncts answered through an interval index
+	buildRows   int64 // rows hashed into equi-join build tables
+	fallbacks   int64 // inner variables joined by nested loop, not hash probe
+	prefiltered int64 // bindings examined while prefiltering candidate lists
+}
+
+// planVar is one range variable's slot in the compiled plan, in binding
+// order.
+type planVar struct {
+	name string
+	orig int // index into the statement's original variable order
+	rel  *tdb.Relation
+
+	// versions is the candidate list after single-variable pushdown.
+	versions []tdb.Version
+
+	// join, when non-nil, replaces the scan over versions with a probe of
+	// table keyed by the bound value of probeBind.data[probeIdx].
+	join *hashJoin
+
+	// Residual conjuncts settled once this variable is bound.
+	where []Expr
+	when  []TemporalExpr
+
+	// bind is the variable's reusable binding cell; the executor mutates
+	// its data/valid/trans fields per candidate instead of allocating.
+	bind *binding
+}
+
+// hashJoin is one compiled equi-join edge: the inner (build) side's
+// versions hashed on the build attribute, probed with the outer side's
+// bound value.
+type hashJoin struct {
+	table     *index.Hash
+	buildIdx  int      // join attribute offset in the build (inner) schema
+	probeBind *binding // the already-bound outer variable's binding cell
+	probeIdx  int      // join attribute offset in the probe (outer) schema
+	numeric   bool     // normalize int/float keys before hashing
+}
+
+// splitAnd flattens the top-level AND tree of a scalar predicate into its
+// conjuncts. Or/not subtrees are kept whole: they are single conjuncts.
+func splitAnd(e Expr, out []Expr) []Expr {
+	if b, ok := e.(*BoolOp); ok && b.Op == "and" {
+		return splitAnd(b.R, splitAnd(b.L, out))
+	}
+	return append(out, e)
+}
+
+// splitTempAnd flattens the top-level AND tree of a temporal predicate.
+func splitTempAnd(e TemporalExpr, out []TemporalExpr) []TemporalExpr {
+	if b, ok := e.(*TempBool); ok && b.Op == "and" {
+		return splitTempAnd(b.R, splitTempAnd(b.L, out))
+	}
+	return append(out, e)
+}
+
+// exprVarList returns the distinct range variables of a scalar conjunct.
+func exprVarList(e Expr) []string {
+	m := map[string]bool{}
+	exprVars(e, m)
+	return sortedVars(m)
+}
+
+// temporalVarList returns the distinct range variables of a temporal
+// conjunct.
+func temporalVarList(e TemporalExpr) []string {
+	m := map[string]bool{}
+	temporalVars(e, m)
+	return sortedVars(m)
+}
+
+func sortedVars(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// overlapPushdown recognizes "v overlap E" (either operand order) where E
+// references no range variables, returning E's interval. Such a conjunct is
+// answerable through a store's valid-time interval index.
+func overlapPushdown(te TemporalExpr, v string, ev *env) (temporal.Interval, bool, error) {
+	rel, ok := te.(*TempRel)
+	if !ok || rel.Op != "overlap" {
+		return temporal.Interval{}, false, nil
+	}
+	constSide := func(side, other TemporalExpr) (temporal.Interval, bool, error) {
+		vi, ok := side.(*VarInterval)
+		if !ok || vi.Var != v {
+			return temporal.Interval{}, false, nil
+		}
+		if len(temporalVarList(other)) != 0 {
+			return temporal.Interval{}, false, nil
+		}
+		el, err := evalElement(other, ev)
+		if err != nil {
+			return temporal.Interval{}, false, err
+		}
+		return el.iv, true, nil
+	}
+	if iv, ok, err := constSide(rel.L, rel.R); ok || err != nil {
+		return iv, ok, err
+	}
+	return constSide(rel.R, rel.L)
+}
+
+// equiJoinSides recognizes "v1.a = v2.b" with distinct variables.
+func equiJoinSides(e Expr) (l, r *AttrRef, ok bool) {
+	cmp, isCmp := e.(*Cmp)
+	if !isCmp || cmp.Op != "=" {
+		return nil, nil, false
+	}
+	l, lok := cmp.L.(*AttrRef)
+	r, rok := cmp.R.(*AttrRef)
+	if !lok || !rok || l.Var == r.Var {
+		return nil, nil, false
+	}
+	return l, r, true
+}
+
+// hashableJoin reports whether an equi-join on attributes of the given
+// kinds can be answered by hashing, and whether the keys need numeric
+// normalization. Hashing must never separate values the comparison would
+// call equal: identical kinds hash exactly, and int/float pairs (which the
+// comparison widens) hash their widened value. Cross-kind pairs with
+// parse-time coercion (instant vs. string) stay on the nested-loop path.
+func hashableJoin(a, b tdb.ValueKind) (hashable, numeric bool) {
+	num := func(k tdb.ValueKind) bool { return k == value.Int || k == value.Float }
+	switch {
+	case a == b && a != value.Float:
+		return true, false
+	case num(a) && num(b):
+		// Covers float=float too: widening normalizes -0 vs +0 and NaN
+		// payloads, which compare equal but carry different bits.
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// joinHash hashes a join key so that values the comparison treats as equal
+// collide. Numeric keys are widened to float64 with -0 folded into +0 and
+// NaNs canonicalized, mirroring evalCmp's int/float widening and
+// value.Compare's NaN-equals-NaN ordering.
+func joinHash(v tdb.Value, numeric bool) uint64 {
+	if !numeric {
+		return v.Hash64()
+	}
+	var f float64
+	switch v.Kind() {
+	case value.Int:
+		f = float64(v.Int())
+	case value.Float:
+		f = v.Float()
+	}
+	if f != f {
+		f = math.NaN()
+	}
+	if f == 0 {
+		f = 0
+	}
+	return tdb.Float(f).Hash64()
+}
+
+// admit applies the residual conjuncts parked at this variable's depth to
+// the current bindings.
+func (pv *planVar) admit(ev *env) (bool, error) {
+	for _, e := range pv.where {
+		ok, err := evalPred(e, ev)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	for _, te := range pv.when {
+		ok, err := evalTemporalPred(te, ev)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// buildPlan compiles a checked retrieve statement. It fetches each
+// variable's candidate versions (through an interval index where a pushed
+// when conjunct allows), applies single-variable conjuncts, orders
+// variables by filtered cardinality, and wires hash joins for residual
+// equi-join conjuncts.
+func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relation,
+	ev *env, asOf, through temporal.Chronon, hasAsOf, hasThrough bool) (*queryPlan, error) {
+
+	pl := &queryPlan{}
+
+	var whereConjs []Expr
+	if n.Where != nil {
+		whereConjs = splitAnd(n.Where, nil)
+	}
+	var whenConjs []TemporalExpr
+	if n.When != nil {
+		whenConjs = splitTempAnd(n.When, nil)
+	}
+
+	perVarWhere := map[string][]Expr{}
+	perVarWhen := map[string][]TemporalExpr{}
+	type residual struct {
+		expr Expr
+		te   TemporalExpr
+		vars []string
+	}
+	var residuals []residual
+
+	for _, e := range whereConjs {
+		switch vars := exprVarList(e); len(vars) {
+		case 0:
+			// Variable-free: settled exactly once, before any binding.
+			ok, err := evalPred(e, ev)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				pl.emptyResult = true
+			}
+			pl.pushed++
+		case 1:
+			perVarWhere[vars[0]] = append(perVarWhere[vars[0]], e)
+		default:
+			residuals = append(residuals, residual{expr: e, vars: vars})
+		}
+	}
+	for _, te := range whenConjs {
+		switch vars := temporalVarList(te); len(vars) {
+		case 0:
+			ok, err := evalTemporalPred(te, ev)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				pl.emptyResult = true
+			}
+			pl.pushed++
+		case 1:
+			perVarWhen[vars[0]] = append(perVarWhen[vars[0]], te)
+		default:
+			residuals = append(residuals, residual{te: te, vars: vars})
+		}
+	}
+
+	// Fetch and prefilter each variable's candidates, in the statement's
+	// original variable order so errors surface exactly as the naive path
+	// reports them.
+	pl.vars = make([]planVar, len(order))
+	for i, v := range order {
+		rel := rels[i]
+		tfilters := perVarWhen[v]
+
+		var base []tdb.Version
+		var err error
+		fetched := false
+		if !hasThrough {
+			// When pushdown: answer one "v overlap <const>" conjunct
+			// through the store's valid-time interval index.
+			for fi, te := range tfilters {
+				q, ok, perr := overlapPushdown(te, v, ev)
+				if perr != nil {
+					return nil, perr
+				}
+				if !ok {
+					continue
+				}
+				vs, indexed, werr := rel.VersionsWhen(q, asOf, hasAsOf)
+				if werr != nil {
+					return nil, errf(n.Pos, "%s: %v", rel.Name(), werr)
+				}
+				if indexed {
+					base, fetched = vs, true
+					tfilters = append(append([]TemporalExpr(nil), tfilters[:fi]...), tfilters[fi+1:]...)
+					pl.whenIndexed++
+					pl.pushed++
+					break
+				}
+			}
+		}
+		if !fetched {
+			if hasThrough {
+				base, err = rel.VersionsDuring(asOf, through)
+			} else {
+				base, err = rel.VisibleVersions(asOf, hasAsOf)
+			}
+			if err != nil {
+				return nil, errf(n.Pos, "%s: %v", rel.Name(), err)
+			}
+		}
+
+		filters := perVarWhere[v]
+		b := &binding{rel: rel}
+		if len(filters)+len(tfilters) > 0 {
+			ev.vars[v] = b
+			kept := base[:0]
+			for vi := range base {
+				ver := &base[vi]
+				pl.prefiltered++
+				b.data, b.valid, b.trans = ver.Data, ver.Valid, ver.Trans
+				ok := true
+				var err error
+				for _, e := range filters {
+					if ok, err = evalPred(e, ev); err != nil {
+						delete(ev.vars, v)
+						return nil, err
+					} else if !ok {
+						break
+					}
+				}
+				if ok {
+					for _, te := range tfilters {
+						if ok, err = evalTemporalPred(te, ev); err != nil {
+							delete(ev.vars, v)
+							return nil, err
+						} else if !ok {
+							break
+						}
+					}
+				}
+				if ok {
+					kept = append(kept, *ver)
+				}
+			}
+			base = kept
+			delete(ev.vars, v)
+			pl.pushed += int64(len(filters) + len(tfilters))
+		}
+		pl.vars[i] = planVar{name: v, orig: i, rel: rel, versions: base, bind: b}
+	}
+
+	// Join ordering: smallest filtered cardinality binds first (stable, so
+	// equal-sized variables keep statement order). The inner side of each
+	// equi-join edge — the larger one — becomes the hash build side below.
+	sort.SliceStable(pl.vars, func(i, j int) bool {
+		return len(pl.vars[i].versions) < len(pl.vars[j].versions)
+	})
+	depthOf := make(map[string]int, len(pl.vars))
+	for d := range pl.vars {
+		depthOf[pl.vars[d].name] = d
+	}
+
+	// Wire hash probes: for each variable, the first equi-join conjunct
+	// linking it to an earlier-bound variable with hashable key kinds turns
+	// its scan into a probe. The conjunct stays residual (below), so probe
+	// results are re-verified and collisions cannot leak into the answer.
+	for _, r := range residuals {
+		if r.expr == nil {
+			continue
+		}
+		l, rt, ok := equiJoinSides(r.expr)
+		if !ok {
+			continue
+		}
+		build, probe := l, rt
+		if depthOf[build.Var] < depthOf[probe.Var] {
+			build, probe = probe, build
+		}
+		pv := &pl.vars[depthOf[build.Var]]
+		if pv.join != nil {
+			continue
+		}
+		outer := &pl.vars[depthOf[probe.Var]]
+		buildIdx := pv.rel.Schema().Index(build.Attr)
+		probeIdx := outer.rel.Schema().Index(probe.Attr)
+		if buildIdx < 0 || probeIdx < 0 {
+			continue // unreachable after analysis; keep the nested loop
+		}
+		hashable, numeric := hashableJoin(
+			pv.rel.Schema().Attr(buildIdx).Type, outer.rel.Schema().Attr(probeIdx).Type)
+		if !hashable {
+			continue
+		}
+		table := index.NewHashSized(len(pv.versions))
+		for pos := range pv.versions {
+			table.Add(joinHash(pv.versions[pos].Data[buildIdx], numeric), pos)
+		}
+		pl.buildRows += int64(len(pv.versions))
+		pv.join = &hashJoin{table: table, buildIdx: buildIdx,
+			probeBind: outer.bind, probeIdx: probeIdx, numeric: numeric}
+	}
+	for d := 1; d < len(pl.vars); d++ {
+		if pl.vars[d].join == nil {
+			pl.fallbacks++
+		}
+	}
+
+	// Park every residual conjunct at the shallowest depth where all its
+	// variables are bound, so failing bindings prune before descending.
+	for _, r := range residuals {
+		depth := 0
+		for _, v := range r.vars {
+			if d := depthOf[v]; d > depth {
+				depth = d
+			}
+		}
+		if r.expr != nil {
+			pl.vars[depth].where = append(pl.vars[depth].where, r.expr)
+		} else {
+			pl.vars[depth].when = append(pl.vars[depth].when, r.te)
+		}
+	}
+	return pl, nil
+}

@@ -1,0 +1,519 @@
+package tquel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tdb/internal/obs"
+	"tdb/temporal"
+)
+
+// plannerOn returns the session with the planner force-enabled, so these
+// tests keep asserting planner internals even when the whole suite runs
+// under TDB_DISABLE_PLANNER=1 (the CI ablation job).
+func plannerOn(ses *Session) *Session {
+	ses.DisablePlanner(false)
+	return ses
+}
+
+func mustParseRetrieve(t *testing.T, src string) *RetrieveStmt {
+	t.Helper()
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmts[len(stmts)-1].(*RetrieveStmt)
+}
+
+func TestSplitAnd(t *testing.T) {
+	st := mustParseRetrieve(t, `retrieve (f.x) where
+		f.a = 1 and (f.b = 2 or f.c = 3) and not f.d = 4 and g.e = f.a`)
+	conjs := splitAnd(st.Where, nil)
+	if len(conjs) != 4 {
+		t.Fatalf("conjuncts = %d, want 4: %#v", len(conjs), conjs)
+	}
+	// Left-to-right order is preserved and or/not subtrees stay whole.
+	if _, ok := conjs[0].(*Cmp); !ok {
+		t.Errorf("conjunct 0 = %T, want *Cmp", conjs[0])
+	}
+	if b, ok := conjs[1].(*BoolOp); !ok || b.Op != "or" {
+		t.Errorf("conjunct 1 = %#v, want or-subtree", conjs[1])
+	}
+	if b, ok := conjs[2].(*BoolOp); !ok || b.Op != "not" {
+		t.Errorf("conjunct 2 = %#v, want not-subtree", conjs[2])
+	}
+	if got := exprVarList(conjs[3]); len(got) != 2 || got[0] != "f" || got[1] != "g" {
+		t.Errorf("conjunct 3 vars = %v, want [f g]", got)
+	}
+}
+
+func TestSplitTempAnd(t *testing.T) {
+	st := mustParseRetrieve(t, `retrieve (f.x) when
+		f overlap "now" and (g precede f or f precede g) and not g overlap "now"`)
+	conjs := splitTempAnd(st.When, nil)
+	if len(conjs) != 3 {
+		t.Fatalf("temporal conjuncts = %d, want 3", len(conjs))
+	}
+	if r, ok := conjs[0].(*TempRel); !ok || r.Op != "overlap" {
+		t.Errorf("conjunct 0 = %#v", conjs[0])
+	}
+	if b, ok := conjs[1].(*TempBool); !ok || b.Op != "or" {
+		t.Errorf("conjunct 1 = %#v, want or-subtree", conjs[1])
+	}
+	if b, ok := conjs[2].(*TempBool); !ok || b.Op != "not" {
+		t.Errorf("conjunct 2 = %#v, want not-subtree", conjs[2])
+	}
+	if got := temporalVarList(conjs[1]); len(got) != 2 || got[0] != "f" || got[1] != "g" {
+		t.Errorf("conjunct 1 vars = %v, want [f g]", got)
+	}
+}
+
+// planFixture builds two historical relations with asymmetric cardinality:
+// small (3 rows) and big (12 rows), sharing an int join key.
+func planFixture(t testing.TB) *Session {
+	t.Helper()
+	db := newDB(t)
+	ses := NewSession(db)
+	if _, err := ses.Exec(`
+		create historical relation small (k = int, tag = string) key (k)
+		create historical relation big (k = int, tag = string) key (k)
+		range of s is small
+		range of b is big
+	`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		src := fmt.Sprintf(`append to small (k = %d, tag = "s%d") valid from "01/01/8%d" to forever`, i, i, i)
+		if _, err := ses.Exec(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		src := fmt.Sprintf(`append to big (k = %d, tag = "b%d") valid from "01/0%d/81" to forever`, i, i, i%9+1)
+		if _, err := ses.Exec(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ses
+}
+
+func TestPlanConjunctClassification(t *testing.T) {
+	ses := plannerOn(planFixture(t))
+	res, err := ses.Query(`
+		retrieve (s.tag, b.tag)
+		where 1 = 1 and s.k = 0 and s.k = b.k
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ses.lastPlan
+	if pl == nil {
+		t.Fatal("no plan recorded")
+	}
+	// "1 = 1" settles upfront, "s.k = 0" prefilters s: both pushed.
+	if pl.pushed != 2 {
+		t.Errorf("pushed = %d, want 2", pl.pushed)
+	}
+	if pl.emptyResult {
+		t.Error("emptyResult set by a true conjunct")
+	}
+	// s is prefiltered to one candidate and binds first.
+	if pl.vars[0].name != "s" || len(pl.vars[0].versions) != 1 {
+		t.Errorf("outer var = %s with %d candidates, want s with 1",
+			pl.vars[0].name, len(pl.vars[0].versions))
+	}
+	// The equi-join conjunct stays residual at b's depth.
+	if len(pl.vars[1].where) != 1 {
+		t.Errorf("residual where conjuncts at depth 1 = %d, want 1", len(pl.vars[1].where))
+	}
+	if res.Len() != 1 {
+		t.Errorf("result:\n%s", res)
+	}
+}
+
+func TestPlanEmptyResultShortCircuit(t *testing.T) {
+	ses := plannerOn(planFixture(t))
+	res, err := ses.Query(`retrieve (s.tag) where 1 = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("result:\n%s", res)
+	}
+	if pl := ses.lastPlan; pl == nil || !pl.emptyResult {
+		t.Error("false variable-free conjunct must set emptyResult")
+	}
+}
+
+func TestPlanJoinOrderAndBuildSide(t *testing.T) {
+	ses := plannerOn(planFixture(t))
+	res, err := ses.Query(`retrieve (s.tag, b.tag) where s.k = b.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ses.lastPlan
+	if pl == nil {
+		t.Fatal("no plan recorded")
+	}
+	// Smallest filtered cardinality drives the outer loop; the larger side
+	// is the hash build side.
+	if pl.vars[0].name != "s" || pl.vars[1].name != "b" {
+		t.Fatalf("binding order = [%s %s], want [s b]", pl.vars[0].name, pl.vars[1].name)
+	}
+	hj := pl.vars[1].join
+	if hj == nil {
+		t.Fatal("inner variable has no hash join")
+	}
+	if pl.buildRows != 12 {
+		t.Errorf("buildRows = %d, want 12 (the big side)", pl.buildRows)
+	}
+	if hj.numeric {
+		t.Error("int = int join must not need numeric normalization")
+	}
+	if hj.probeBind != pl.vars[0].bind {
+		t.Error("probe must read the outer variable's binding cell")
+	}
+	if pl.fallbacks != 0 {
+		t.Errorf("fallbacks = %d, want 0", pl.fallbacks)
+	}
+	// k 0..2 of small each match exactly one big row.
+	if res.Len() != 3 {
+		t.Errorf("result:\n%s", res)
+	}
+}
+
+func TestPlanCrossProductFallback(t *testing.T) {
+	ses := plannerOn(planFixture(t))
+	if _, err := ses.Query(`retrieve (s.tag, b.tag) where s.tag != b.tag`); err != nil {
+		t.Fatal(err)
+	}
+	pl := ses.lastPlan
+	if pl.vars[1].join != nil {
+		t.Error("!= is not an equi-join; no hash table expected")
+	}
+	if pl.fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", pl.fallbacks)
+	}
+}
+
+// An instant attribute joined against a string attribute compares via
+// date parsing, which hashing cannot reproduce; the planner must leave the
+// conjunct on the nested-loop path.
+func TestPlanNonHashableJoinFallsBack(t *testing.T) {
+	db := newDB(t)
+	ses := plannerOn(NewSession(db))
+	if _, err := ses.Exec(`
+		create static relation dated (d = instant) key (d)
+		create static relation named (n = string) key (n)
+		range of dv is dated
+		range of nv is named
+		append to dated (d = "06/01/80")
+		append to named (n = "06/01/80")
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.Query(`retrieve (nv.n) where dv.d = nv.n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ses.lastPlan
+	if pl.vars[1].join != nil {
+		t.Error("instant = string join must not hash")
+	}
+	if pl.fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", pl.fallbacks)
+	}
+	if res.Len() != 1 {
+		t.Errorf("coerced join result:\n%s", res)
+	}
+}
+
+// Int and float join keys widen before comparison; the hash path must widen
+// the same way so 2 matches 2.0.
+func TestPlanNumericJoinNormalization(t *testing.T) {
+	db := newDB(t)
+	ses := plannerOn(NewSession(db))
+	if _, err := ses.Exec(`
+		create static relation ints (k = int) key (k)
+		create static relation floats (k = float) key (k)
+		range of iv is ints
+		range of fv is floats
+		append to ints (k = 2)
+		append to ints (k = 3)
+		append to floats (k = 2.0)
+		append to floats (k = 2.5)
+		append to floats (k = 4.0)
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.Query(`retrieve (iv.k, fv.k) where iv.k = fv.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ses.lastPlan
+	hj := pl.vars[1].join
+	if hj == nil || !hj.numeric {
+		t.Fatalf("int/float join must hash with numeric normalization, got %+v", hj)
+	}
+	if res.Len() != 1 || res.Rows[0].Data[0].Int() != 2 {
+		t.Errorf("result:\n%s", res)
+	}
+}
+
+func TestPlanWhenOverlapIndexed(t *testing.T) {
+	ses := plannerOn(planFixture(t))
+	res, err := ses.Query(`retrieve (s.tag) when s overlap "06/01/80"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ses.lastPlan
+	if pl.whenIndexed != 1 {
+		t.Errorf("whenIndexed = %d, want 1", pl.whenIndexed)
+	}
+	// s0 valid since 01/01/80; s1/s2 start later.
+	if res.Len() != 1 || res.Rows[0].Data[0].Str() != "s0" {
+		t.Errorf("result:\n%s", res)
+	}
+	// No residual when conjunct should remain anywhere.
+	for _, pv := range pl.vars {
+		if len(pv.when) != 0 {
+			t.Errorf("var %s kept %d when conjuncts after pushdown", pv.name, len(pv.when))
+		}
+	}
+}
+
+// An as-of-through window views versions across a commit range; the indexed
+// when path answers point visibility only, so the planner must not use it.
+func TestPlanWhenIndexSkippedUnderThrough(t *testing.T) {
+	ses := plannerOn(paperSession(t))
+	res, err := ses.Query(`
+		retrieve (f.rank) where f.name = "Merrie"
+		when f overlap "12/10/82" as of "12/10/82" through "12/20/82"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl := ses.lastPlan; pl.whenIndexed != 0 {
+		t.Errorf("whenIndexed = %d, want 0 under as-of-through", pl.whenIndexed)
+	}
+	if res.Len() != 2 { // associate (believed until 12/15) and full (after)
+		t.Errorf("result:\n%s", res)
+	}
+}
+
+func TestDisablePlannerEnv(t *testing.T) {
+	for _, tc := range []struct {
+		val  string
+		want bool
+	}{{"1", true}, {"yes", true}, {"0", false}, {"false", false}, {"", false}} {
+		t.Setenv("TDB_DISABLE_PLANNER", tc.val)
+		ses := NewSession(newDB(t))
+		if ses.noPlanner != tc.want {
+			t.Errorf("TDB_DISABLE_PLANNER=%q: noPlanner = %v, want %v", tc.val, ses.noPlanner, tc.want)
+		}
+	}
+}
+
+// differential runs the query with the planner on and off and asserts the
+// rendered resultsets are byte-identical.
+func differential(t *testing.T, ses *Session, src string) {
+	t.Helper()
+	ses.DisablePlanner(false)
+	on, err := ses.Query(src)
+	if err != nil {
+		t.Fatalf("planner on: %v\n%s", err, src)
+	}
+	ses.DisablePlanner(true)
+	off, err := ses.Query(src)
+	ses.DisablePlanner(false)
+	if err != nil {
+		t.Fatalf("planner off: %v\n%s", err, src)
+	}
+	if on.String() != off.String() {
+		t.Errorf("planner changed the answer for:\n%s\n--- planner on ---\n%s\n--- planner off ---\n%s",
+			src, on, off)
+	}
+}
+
+// The paper's figure queries must render identically with and without the
+// planner.
+func TestPlannerDifferentialFigures(t *testing.T) {
+	ses := paperSession(t)
+	if _, err := ses.Exec("range of f1 is faculty\nrange of f2 is faculty"); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{
+		`retrieve (f.rank) where f.name = "Merrie"`,                  // Figure 2 shape
+		`retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"`, // Figure 4
+		`retrieve (f1.rank)
+			where f1.name = "Merrie" and f2.name = "Tom"
+			when f1 overlap start of f2`, // Figure 6
+		`retrieve (f1.rank)
+			where f1.name = "Merrie" and f2.name = "Tom"
+			when f1 overlap start of f2
+			as of "12/10/82"`, // §4.4 / Figure 8
+		`retrieve (f1.rank)
+			where f1.name = "Merrie" and f2.name = "Tom"
+			when f1 overlap start of f2
+			as of "12/20/82"`,
+	} {
+		differential(t, ses, src)
+	}
+}
+
+// TestPlannerDifferential generates seeded random multi-variable retrieves
+// with mixed where/when clauses over the Figure 8 faculty history plus a
+// synthetic join fixture, asserting planner-on and planner-off agree on
+// every one. The generator avoids constructs whose evaluation can error
+// (date-string scalar comparisons, aggregates over floats), since the
+// planner may surface such errors from a different binding order.
+func TestPlannerDifferential(t *testing.T) {
+	ses := paperSession(t)
+	if _, err := ses.Exec(`
+		create historical relation emp (name = string, dept = string, pay = int) key (name)
+		range of e1 is emp
+		range of e2 is emp
+		range of f2 is faculty
+	`); err != nil {
+		t.Fatal(err)
+	}
+	depts := []string{"cs", "ee", "math"}
+	for i := 0; i < 9; i++ {
+		src := fmt.Sprintf(
+			`append to emp (name = "p%d", dept = %q, pay = %d) valid from "0%d/01/8%d" to forever`,
+			i, depts[i%3], 100+10*(i%4), i%9+1, i%4)
+		execAt(t, ses, temporal.Date(1984, 1, 1+i), src)
+	}
+
+	rng := rand.New(rand.NewSource(85)) // SIGMOD 1985
+	names := []string{"Merrie", "Tom", "Mike", "p0", "p3", "p7"}
+	dates := []string{"06/01/80", "12/10/82", "01/15/83", "now"}
+	relOf := map[string]string{"f": "faculty", "f2": "faculty", "e1": "emp", "e2": "emp"}
+	pick := func(ss []string) string { return ss[rng.Intn(len(ss))] }
+
+	whereConj := func(v string) string {
+		if relOf[v] == "emp" && rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s.pay %s %d", v, pick([]string{"<", ">=", "="}), 100+10*rng.Intn(4))
+		}
+		return fmt.Sprintf("%s.name %s %q", v, pick([]string{"=", "!="}), pick(names))
+	}
+	whenConj := func(v string) string {
+		switch rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%s overlap %q", v, pick(dates))
+		case 1:
+			return fmt.Sprintf("start of %s precede %q", v, pick(dates))
+		default:
+			return fmt.Sprintf("not %s overlap %q", v, pick(dates))
+		}
+	}
+
+	for i := 0; i < 60; i++ {
+		vars := []string{pick([]string{"f", "e1"})}
+		if rng.Intn(3) > 0 { // two-variable query
+			vars = append(vars, pick([]string{"f2", "e2"}))
+		}
+		var targets, conjs, temps []string
+		for _, v := range vars {
+			targets = append(targets, v+".name")
+			if rng.Intn(2) == 0 {
+				conjs = append(conjs, whereConj(v))
+			}
+			if rng.Intn(2) == 0 {
+				temps = append(temps, whenConj(v))
+			}
+		}
+		if len(vars) == 2 {
+			switch rng.Intn(3) {
+			case 0: // string equi-join
+				conjs = append(conjs, fmt.Sprintf("%s.name = %s.name", vars[0], vars[1]))
+			case 1:
+				if relOf[vars[0]] == "emp" && relOf[vars[1]] == "emp" {
+					conjs = append(conjs, fmt.Sprintf("%s.pay = %s.pay", vars[0], vars[1]))
+				}
+			}
+			if rng.Intn(3) == 0 {
+				temps = append(temps, fmt.Sprintf("%s overlap %s", vars[0], vars[1]))
+			}
+		}
+		src := "retrieve (" + strings.Join(targets, ", ") + ")"
+		if len(conjs) > 0 {
+			src += "\nwhere " + strings.Join(conjs, " and ")
+		}
+		if len(temps) > 0 {
+			src += "\nwhen " + strings.Join(temps, " and ")
+		}
+		// As-of needs every variable rollback-capable: faculty is temporal,
+		// emp is historical, so gate on an all-faculty variable set.
+		allTemporal := true
+		for _, v := range vars {
+			if relOf[v] != "faculty" {
+				allTemporal = false
+			}
+		}
+		if allTemporal && rng.Intn(2) == 0 {
+			src += fmt.Sprintf("\nas of %q", pick(dates[:3]))
+		}
+		differential(t, ses, src)
+	}
+}
+
+// The planner and the naive path must agree on metrics the user can see:
+// rows_returned in particular. (rows_scanned legitimately differs — that is
+// the point of the planner.)
+func TestPlannerTraceSpan(t *testing.T) {
+	ses := plannerOn(planFixture(t))
+	tr := &recordingTracer{}
+	ses.SetTracer(tr)
+	if _, err := ses.Query(`retrieve (s.tag, b.tag) where s.k = b.k`); err != nil {
+		t.Fatal(err)
+	}
+	var plan, execute *recordedSpan
+	for _, sp := range tr.spans {
+		switch sp.name {
+		case "plan":
+			plan = sp
+		case "execute":
+			execute = sp
+		}
+	}
+	if plan == nil {
+		t.Fatal("no plan span recorded")
+	}
+	if plan.notes["build_rows"] != 12 {
+		t.Errorf("plan build_rows = %d, want 12", plan.notes["build_rows"])
+	}
+	if plan.notes["nested_loop_fallbacks"] != 0 {
+		t.Errorf("plan nested_loop_fallbacks = %d", plan.notes["nested_loop_fallbacks"])
+	}
+	if execute == nil {
+		t.Fatal("no execute span recorded")
+	}
+	if execute.notes["hash_probes"] != 3 { // one probe per outer binding
+		t.Errorf("execute hash_probes = %d, want 3", execute.notes["hash_probes"])
+	}
+	if execute.notes["join_pairs"] != 3 { // only hash matches reach depth 1
+		t.Errorf("execute join_pairs = %d, want 3", execute.notes["join_pairs"])
+	}
+	if execute.notes["rows_returned"] != 3 {
+		t.Errorf("execute rows_returned = %d, want 3", execute.notes["rows_returned"])
+	}
+}
+
+type recordedSpan struct {
+	name  string
+	notes map[string]int64
+}
+
+type recordingTracer struct{ spans []*recordedSpan }
+
+func (t *recordingTracer) Start(name string) obs.Span {
+	sp := &recordedSpan{name: name, notes: map[string]int64{}}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+func (s *recordedSpan) Note(key string, v int64) { s.notes[key] = v }
+func (s *recordedSpan) End()                     {}
