@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race test-noplanner bench bench-smoke bench-json
+.PHONY: check fmt vet build test race race-parallel test-noplanner bench bench-smoke bench-json bench-compare
 
-check: fmt vet build race test-noplanner
+check: fmt vet build race race-parallel test-noplanner
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -23,6 +23,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The race job again with a fixed four-worker budget for every session, so
+# tests whose outer candidate lists clear the fan-out threshold take the
+# worker pool even on single-core machines.
+race-parallel:
+	TDB_PARALLEL=4 $(GO) test -race ./...
+
 # Ablation run: the whole suite with the TQuel query planner disabled, so
 # the naive nested-loop path stays correct (differential tests compare the
 # two paths inside a single process; this job exercises everything else on
@@ -38,8 +44,16 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-# The PR 2 planner benchmarks, rendered as committed JSON.
+# The planner + parallel-executor benchmarks, rendered as committed JSON.
+# Runs at the default GOMAXPROCS (benchjson strips the -N name suffix, so a
+# -cpu list would collide); the scaling curve is the separate
+# `-bench JoinParallel -cpu 1,2,4` run CI does and EXPERIMENTS.md records.
 bench-json:
 	$(GO) test -run '^$$' -benchmem \
-		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere' \
-		./tquel | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel' \
+		./tquel | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+
+# Guard against the committed baseline: exits non-zero when a shared
+# benchmark got more than 1.25x slower (CI runs this warn-only; see ci.yml).
+bench-compare:
+	$(GO) run ./cmd/benchjson compare BENCH_PR2.json BENCH_PR3.json -threshold 1.25

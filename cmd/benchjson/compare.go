@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// comparison is one benchmark present in both reports.
+type comparison struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	Ratio     float64 // new / old; > 1 is slower
+	Regressed bool
+}
+
+// compareReports matches results by package+name and rates each shared
+// benchmark against the threshold. Benchmarks present in only one report
+// are ignored: the tool compares runs, it does not police coverage.
+func compareReports(oldRep, newRep report, threshold float64) []comparison {
+	oldNs := make(map[string]float64, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldNs[r.Pkg+"/"+r.Name] = r.NsPerOp
+	}
+	var out []comparison
+	for _, r := range newRep.Results {
+		prev, ok := oldNs[r.Pkg+"/"+r.Name]
+		if !ok || prev == 0 {
+			continue
+		}
+		ratio := r.NsPerOp / prev
+		out = append(out, comparison{
+			Name:      r.Name,
+			OldNs:     prev,
+			NewNs:     r.NsPerOp,
+			Ratio:     ratio,
+			Regressed: ratio > threshold,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func readReport(path string) (report, error) {
+	var rep report
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// formatComparison renders the comparison table. Ratios are new/old, so
+// 0.50x reads "twice as fast" and 2.00x "twice as slow".
+func formatComparison(cmps []comparison, threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, c := range cmps {
+		flag := ""
+		if c.Regressed {
+			flag = "  REGRESSED"
+		}
+		fmt.Fprintf(&b, "%-50s %14.0f %14.0f %7.2fx%s\n", c.Name, c.OldNs, c.NewNs, c.Ratio, flag)
+	}
+	fmt.Fprintf(&b, "threshold: %.2fx\n", threshold)
+	return b.String()
+}
+
+// runCompare implements `benchjson compare old.json new.json [-threshold N]`.
+// It prints the table of shared benchmarks and returns 1 when any of them
+// is slower than threshold times its old ns/op, 2 on usage or read errors.
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	threshold := 1.25
+	var files []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-threshold" || a == "--threshold":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(stderr, "benchjson compare: -threshold needs a value")
+				return 2
+			}
+			a = "-threshold=" + args[i]
+			fallthrough
+		case strings.HasPrefix(a, "-threshold=") || strings.HasPrefix(a, "--threshold="):
+			v := a[strings.Index(a, "=")+1:]
+			t, err := strconv.ParseFloat(v, 64)
+			if err != nil || t <= 0 {
+				fmt.Fprintf(stderr, "benchjson compare: bad threshold %q\n", v)
+				return 2
+			}
+			threshold = t
+		default:
+			files = append(files, a)
+		}
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(stderr, "usage: benchjson compare old.json new.json [-threshold 1.25]")
+		return 2
+	}
+	oldRep, err := readReport(files[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson compare:", err)
+		return 2
+	}
+	newRep, err := readReport(files[1])
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson compare:", err)
+		return 2
+	}
+	cmps := compareReports(oldRep, newRep, threshold)
+	if len(cmps) == 0 {
+		fmt.Fprintln(stdout, "benchjson compare: no shared benchmarks")
+		return 0
+	}
+	fmt.Fprint(stdout, formatComparison(cmps, threshold))
+	regressed := 0
+	for _, c := range cmps {
+		if c.Regressed {
+			regressed++
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(stderr, "benchjson compare: %d benchmark(s) regressed past %.2fx\n", regressed, threshold)
+		return 1
+	}
+	return 0
+}

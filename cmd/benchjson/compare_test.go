@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldFixture = `{
+  "goos": "linux",
+  "goarch": "amd64",
+  "results": [
+    {"name": "BenchmarkJoinEquiSelective/planner=on", "pkg": "tdb/tquel", "iterations": 10, "ns_per_op": 100000000},
+    {"name": "BenchmarkJoinCrossSmall/planner=on", "pkg": "tdb/tquel", "iterations": 50, "ns_per_op": 2000000},
+    {"name": "BenchmarkRetiredOnlyInOld", "pkg": "tdb/tquel", "iterations": 100, "ns_per_op": 5000}
+  ]
+}`
+
+const newFixture = `{
+  "goos": "linux",
+  "goarch": "amd64",
+  "results": [
+    {"name": "BenchmarkJoinEquiSelective/planner=on", "pkg": "tdb/tquel", "iterations": 10, "ns_per_op": 150000000},
+    {"name": "BenchmarkJoinCrossSmall/planner=on", "pkg": "tdb/tquel", "iterations": 60, "ns_per_op": 1800000},
+    {"name": "BenchmarkBrandNew", "pkg": "tdb/tquel", "iterations": 10, "ns_per_op": 7000}
+  ]
+}`
+
+func writeFixtures(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(oldFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return oldPath, newPath
+}
+
+// At the default threshold (1.25x) the 1.5x JoinEquiSelective slowdown is a
+// regression: the table must flag it and the exit code must be non-zero.
+func TestCompareFlagsRegression(t *testing.T) {
+	oldPath, newPath := writeFixtures(t)
+	var stdout, stderr strings.Builder
+	code := runCompare([]string{oldPath, newPath}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "BenchmarkJoinEquiSelective/planner=on") ||
+		!strings.Contains(out, "REGRESSED") {
+		t.Errorf("table missing flagged regression:\n%s", out)
+	}
+	// The improved benchmark is listed but not flagged.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "JoinCrossSmall") && strings.Contains(line, "REGRESSED") {
+			t.Errorf("improvement flagged as regression: %s", line)
+		}
+	}
+	// Benchmarks present in only one file are not compared.
+	if strings.Contains(out, "RetiredOnlyInOld") || strings.Contains(out, "BrandNew") {
+		t.Errorf("unshared benchmark leaked into the table:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "1 benchmark(s) regressed") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+// A looser threshold accepts the same pair of reports.
+func TestCompareThresholdFlag(t *testing.T) {
+	oldPath, newPath := writeFixtures(t)
+	for _, args := range [][]string{
+		{oldPath, newPath, "-threshold", "1.6"},
+		{oldPath, newPath, "-threshold=1.6"},
+		{"-threshold", "1.6", oldPath, newPath},
+	} {
+		var stdout, stderr strings.Builder
+		if code := runCompare(args, &stdout, &stderr); code != 0 {
+			t.Errorf("args %v: exit code = %d, want 0\nstderr: %s", args, code, stderr.String())
+		}
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	oldPath, newPath := writeFixtures(t)
+	for _, args := range [][]string{
+		{oldPath},
+		{oldPath, newPath, "-threshold", "zero"},
+		{oldPath, newPath, "-threshold"},
+		{oldPath, filepath.Join(t.TempDir(), "missing.json")},
+	} {
+		var stdout, stderr strings.Builder
+		if code := runCompare(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit code = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestCompareReportsRatios(t *testing.T) {
+	oldRep := report{Results: []result{
+		{Name: "BenchmarkA", Pkg: "p", NsPerOp: 1000},
+		{Name: "BenchmarkB", Pkg: "p", NsPerOp: 1000},
+	}}
+	newRep := report{Results: []result{
+		{Name: "BenchmarkB", Pkg: "p", NsPerOp: 500},
+		{Name: "BenchmarkA", Pkg: "p", NsPerOp: 1300},
+	}}
+	cmps := compareReports(oldRep, newRep, 1.25)
+	if len(cmps) != 2 {
+		t.Fatalf("comparisons = %d, want 2", len(cmps))
+	}
+	if cmps[0].Name != "BenchmarkA" || !cmps[0].Regressed || cmps[0].Ratio != 1.3 {
+		t.Errorf("A = %+v", cmps[0])
+	}
+	if cmps[1].Name != "BenchmarkB" || cmps[1].Regressed || cmps[1].Ratio != 0.5 {
+		t.Errorf("B = %+v", cmps[1])
+	}
+}

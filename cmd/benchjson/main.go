@@ -1,8 +1,16 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // JSON document on stdout, so benchmark runs can be committed and diffed
-// (make bench-json > BENCH_PR2.json). Non-benchmark lines contribute the
+// (make bench-json > BENCH_PR3.json). Non-benchmark lines contribute the
 // run's metadata (goos, goarch, cpu, pkg) and everything else is ignored,
 // making the tool safe to feed a full test log.
+//
+// The compare subcommand diffs two such documents:
+//
+//	benchjson compare old.json new.json -threshold 1.25
+//
+// prints a table of the benchmarks present in both files and exits
+// non-zero when any of them got slower than threshold times its old
+// ns/op (see compare.go).
 package main
 
 import (
@@ -73,6 +81,9 @@ func parse(in io.Reader) (report, error) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

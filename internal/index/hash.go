@@ -11,7 +11,11 @@ package index
 // provide Hash64) and must verify candidates against the actual key, since
 // distinct keys may share a hash.
 //
-// The zero value is ready to use. Hash is not safe for concurrent mutation.
+// The zero value is ready to use. Hash is not safe for concurrent mutation,
+// but once built it is safe for any number of concurrent readers: Lookup
+// and Len touch no mutable state. The TQuel parallel executor relies on
+// this — equi-join build tables are constructed serially at plan time and
+// then probed from every worker goroutine without locking.
 type Hash struct {
 	buckets []bucket
 	used    int // occupied buckets (distinct hashes)

@@ -13,7 +13,11 @@ import (
 // than with total history depth. BenchmarkAblationIntervalIndex compares
 // this against the linear scan the tree replaces.
 //
-// IntervalTree is not safe for concurrent mutation.
+// IntervalTree is not safe for concurrent mutation, but a quiescent tree
+// is safe for any number of concurrent readers: Stab, Overlapping, and Len
+// only walk the node structure. The stores mutate their trees exclusively
+// inside transactions (under the database write lock), so readers holding
+// the read lock never observe a rotation in progress.
 type IntervalTree struct {
 	root *itNode
 	n    int

@@ -12,6 +12,15 @@ import (
 // operation in its own transaction; group operations with DB.Update when
 // several must commit atomically. Query methods are read-only and may run
 // concurrently with each other.
+//
+// Concurrency: every query method takes DB.mu.RLock for the duration of the
+// store read and returns freshly allocated []Version slices whose elements
+// are never mutated afterwards — the store appends versions, it does not
+// rewrite them. Callers (the TQuel executor in particular, see
+// tquel/parallel.go) may therefore share a returned slice across goroutines
+// without further locking, even while later transactions commit: a commit
+// takes DB.mu.Lock, so it cannot overlap the read, and it cannot touch the
+// already-materialized copies.
 type Relation struct {
 	db  *DB
 	rel *catalog.Relation
@@ -190,7 +199,8 @@ func (r *Relation) VersionCount() int {
 // (an error for kinds without transaction time). Each version carries both
 // its valid and transaction periods, with the universal interval standing
 // in for axes the kind does not record. This is the primitive the TQuel
-// executor binds range variables to.
+// executor binds range variables to. The returned slice is a private copy,
+// safe to read from any number of goroutines (see the type comment).
 func (r *Relation) VisibleVersions(asOf temporal.Chronon, hasAsOf bool) ([]Version, error) {
 	r.db.mu.RLock()
 	defer r.db.mu.RUnlock()
@@ -234,6 +244,10 @@ func (r *Relation) VisibleVersions(asOf temporal.Chronon, hasAsOf bool) ([]Versi
 // result reports whether the store supports the pushed path; when false the
 // caller must fall back to filtering VisibleVersions itself. The TQuel
 // planner routes single-variable "v overlap E" when-conjuncts through here.
+// The returned slice is a private copy, safe to read from any number of
+// goroutines (see the type comment); the interval-tree stab itself runs
+// under DB.mu.RLock, and the tree is mutated only inside transactions,
+// which hold DB.mu.Lock.
 func (r *Relation) VersionsWhen(q temporal.Interval, asOf temporal.Chronon, hasAsOf bool) ([]Version, bool, error) {
 	r.db.mu.RLock()
 	defer r.db.mu.RUnlock()

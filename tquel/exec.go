@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strconv"
 
 	"tdb"
 	"tdb/internal/obs"
@@ -15,19 +16,22 @@ import (
 // declarations persist across Exec calls, as in an interactive Quel
 // session. A Session is not safe for concurrent use; open one per client.
 type Session struct {
-	db        *tdb.DB
-	ranges    map[string]string // variable -> relation name
-	now       func() temporal.Chronon
-	tracer    obs.Tracer // nil unless SetTracer installed one
-	noPlanner bool
-	lastPlan  *queryPlan // most recent compiled retrieve, for tests
+	db          *tdb.DB
+	ranges      map[string]string // variable -> relation name
+	now         func() temporal.Chronon
+	tracer      obs.Tracer // nil unless SetTracer installed one
+	noPlanner   bool
+	parallelism int        // worker budget; 0 = GOMAXPROCS, <=1 = serial
+	lastPlan    *queryPlan // most recent compiled retrieve, for tests
 }
 
 // NewSession opens a session on the database. The "now" spelling in
 // queries resolves via the system clock by default; override with SetNow
 // for deterministic replay. Setting the TDB_DISABLE_PLANNER environment
 // variable (to anything but "0" or "false") opens sessions with the query
-// planner disabled, so a whole test suite can run the ablation.
+// planner disabled, so a whole test suite can run the ablation; setting
+// TDB_PARALLEL to an integer fixes the worker budget the same way
+// (SetParallelism documents the values).
 func NewSession(db *tdb.DB) *Session {
 	s := &Session{
 		db:     db,
@@ -36,6 +40,11 @@ func NewSession(db *tdb.DB) *Session {
 	}
 	if v := os.Getenv("TDB_DISABLE_PLANNER"); v != "" && v != "0" && v != "false" {
 		s.noPlanner = true
+	}
+	if v := os.Getenv("TDB_PARALLEL"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			s.parallelism = n
+		}
 	}
 	return s
 }
@@ -234,25 +243,36 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Per-row tallies accumulate in locals; the atomic counters (and the
-	// execute span, when a tracer is installed) are settled once on the way
-	// out. scanned counts bindings examined per variable: each time a
-	// candidate version is bound to a range variable — during planner
-	// prefiltering or inside the join loop — it counts once. joinPairs
-	// counts the bindings examined at inner depths (depth ≥ 1), the join
-	// work the old outer-rebinding accounting made invisible.
-	var scanned, returned, probes, joinPairs int64
+	// Per-row tallies accumulate in a coordinator-owned execTally; workers
+	// (see parallel.go) keep their own and are summed into it after the
+	// merge. All counter settlement — the atomic adds and the execute span
+	// notes — happens exactly once here, on the coordinating goroutine, on
+	// the way out. tally.scanned counts bindings examined per variable:
+	// each time a candidate version is bound to a range variable — during
+	// planner prefiltering or inside the join loop — it counts once.
+	// tally.joinPairs counts the bindings examined at inner depths
+	// (depth ≥ 1), the join work the old outer-rebinding accounting made
+	// invisible.
+	var tally execTally
+	var returned int64
 	var execSp obs.Span
+	var pl *queryPlan
 	defer func() {
-		mRowsScanned.Add(uint64(scanned))
+		if pl != nil {
+			mConjunctsPushed.Add(uint64(pl.pushed))
+			mWhenIndexed.Add(uint64(pl.whenIndexed))
+			mHashJoinBuildRows.Add(uint64(pl.buildRows))
+			mJoinFallbacks.Add(uint64(pl.fallbacks))
+		}
+		mRowsScanned.Add(uint64(tally.scanned))
 		mRowsReturned.Add(uint64(returned))
-		mHashJoinProbes.Add(uint64(probes))
-		mJoinPairs.Add(uint64(joinPairs))
+		mHashJoinProbes.Add(uint64(tally.probes))
+		mJoinPairs.Add(uint64(tally.joinPairs))
 		if execSp != nil {
-			execSp.Note("rows_scanned", scanned)
+			execSp.Note("rows_scanned", tally.scanned)
 			execSp.Note("rows_returned", returned)
-			execSp.Note("hash_probes", probes)
-			execSp.Note("join_pairs", joinPairs)
+			execSp.Note("hash_probes", tally.probes)
+			execSp.Note("join_pairs", tally.joinPairs)
 			execSp.End()
 		}
 	}()
@@ -326,8 +346,11 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 	if hasAggregates(n.Targets) {
 		agg = newAggregator(n.Targets)
 	}
-	// emitRow runs with all variables bound: stamp, project, fold.
-	emitRow := func() error {
+	// emitRowTo runs with all variables bound in ev: stamp, project, fold.
+	// Rows land in *rows so the serial path, the naive path, and each
+	// parallel worker can supply their own buffer; aggregate folding is
+	// serial-only (useParallel excludes it).
+	emitRowTo := func(ev *env, rows *[]ResultRow) error {
 		row := ResultRow{Valid: temporal.All, Trans: temporal.All}
 		// Derived valid period.
 		switch {
@@ -370,7 +393,11 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 			}
 			row.Data = append(row.Data, v)
 		}
-		res.Rows = append(res.Rows, row)
+		// The canonical sort key is computed at emit time: the sort needs
+		// it anyway, and on the parallel path this moves the formatting
+		// work into the workers.
+		row.key = row.canonicalKey()
+		*rows = append(*rows, row)
 		return nil
 	}
 
@@ -399,9 +426,9 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 			if depth < len(order) {
 				v := order[depth]
 				for _, ver := range versions[depth] {
-					scanned++
+					tally.scanned++
 					if depth > 0 {
-						joinPairs++
+						tally.joinPairs++
 					}
 					ev.vars[v] = &binding{rel: rels[depth], data: ver.Data, valid: ver.Valid, trans: ver.Trans}
 					if err := emit(depth + 1); err != nil {
@@ -423,7 +450,7 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 					return err
 				}
 			}
-			return emitRow()
+			return emitRowTo(ev, &res.Rows)
 		}
 		if err := emit(0); err != nil {
 			return nil, err
@@ -433,7 +460,8 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 		if s.tracer != nil {
 			planSp = s.tracer.Start("plan")
 		}
-		pl, err := s.buildPlan(n, order, rels, ev, asOf, through, hasAsOf, hasThrough)
+		var err error
+		pl, err = s.buildPlan(n, order, rels, ev, asOf, through, hasAsOf, hasThrough)
 		if planSp != nil {
 			if pl != nil {
 				planSp.Note("conjuncts_pushed", pl.pushed)
@@ -447,59 +475,48 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 			return nil, err
 		}
 		s.lastPlan = pl
-		scanned += pl.prefiltered
-		mConjunctsPushed.Add(uint64(pl.pushed))
-		mWhenIndexed.Add(uint64(pl.whenIndexed))
-		mHashJoinBuildRows.Add(uint64(pl.buildRows))
-		mJoinFallbacks.Add(uint64(pl.fallbacks))
+		tally.scanned += pl.prefiltered
 		if s.tracer != nil {
 			execSp = s.tracer.Start("execute")
 		}
-		if agg == nil && len(pl.vars) > 0 {
-			res.Rows = make([]ResultRow, 0, min(len(pl.vars[0].versions), 1024))
-		}
-		var emit func(depth int) error
-		emit = func(depth int) error {
-			if depth == len(pl.vars) {
-				return emitRow()
+		emitRow := func(ex *planExec) error { return emitRowTo(ex.ev, &ex.rows) }
+		switch workers := s.effectiveParallelism(); {
+		case pl.emptyResult:
+			// A false variable-free conjunct: skip the join loop entirely.
+		case useParallel(pl, workers, agg):
+			var parSp obs.Span
+			if s.tracer != nil {
+				parSp = s.tracer.Start("parallel")
 			}
-			pv := &pl.vars[depth]
-			b := pv.bind
-			ev.vars[pv.name] = b
-			step := func(ver *tdb.Version) error {
-				scanned++
-				if depth > 0 {
-					joinPairs++
-				}
-				b.data, b.valid, b.trans = ver.Data, ver.Valid, ver.Trans
-				ok, err := pv.admit(ev)
-				if err != nil || !ok {
-					return err
-				}
-				return emit(depth + 1)
+			rows, wtally, used, chunks, err := runParallel(pl, ev.now, workers, emitRow)
+			tally.add(wtally)
+			mParallelQueries.Inc()
+			mParallelWorkers.Add(uint64(used))
+			if parSp != nil {
+				parSp.Note("workers", int64(used))
+				parSp.Note("chunks", int64(chunks))
+				parSp.Note("outer_candidates", int64(len(pl.vars[0].versions)))
+				parSp.End()
 			}
-			if pv.join != nil {
-				probes++
-				key := joinHash(pv.join.probeBind.data[pv.join.probeIdx], pv.join.numeric)
-				for _, pos := range pv.join.table.Lookup(key) {
-					if err := step(&pv.versions[pos]); err != nil {
-						return err
-					}
-				}
-			} else {
-				for i := range pv.versions {
-					if err := step(&pv.versions[i]); err != nil {
-						return err
-					}
-				}
-			}
-			delete(ev.vars, pv.name)
-			return nil
-		}
-		if !pl.emptyResult {
-			if err := emit(0); err != nil {
+			if err != nil {
 				return nil, err
 			}
+			res.Rows = rows
+		default:
+			ex := newPlanExec(pl, ev.now)
+			if agg == nil && len(pl.vars) > 0 {
+				ex.rows = make([]ResultRow, 0, min(len(pl.vars[0].versions), 1024))
+			}
+			outer := 0
+			if len(pl.vars) > 0 {
+				outer = len(pl.vars[0].versions)
+			}
+			err := runPlan(pl, ex, 0, outer, emitRow)
+			tally.add(ex.tally)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = ex.rows
 		}
 	}
 	if agg != nil {

@@ -1,0 +1,231 @@
+package tquel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tdb"
+	"tdb/temporal"
+)
+
+// Parallel plan execution — the Volcano exchange operator, specialized to
+// our compiled queryPlan (Graefe, "Encapsulation of Parallelism in the
+// Volcano Query Processing System").
+//
+// Planning stays serial: prefiltering, the when pushdown, and the hash
+// build all run on the statement's goroutine and produce an immutable
+// queryPlan. Execution then partitions the *outermost* variable's candidate
+// list into contiguous chunks and fans the chunks out over a worker pool.
+// Each worker runs the unchanged inner bind/admit loop against its own
+// binding cells, env, and tally struct — nothing in the hot loop is shared,
+// so there are no atomics and no locks per binding. Chunk results are
+// buffered per chunk index and concatenated in chunk order, which
+// reproduces the serial row order byte-for-byte (contiguous chunks, in-
+// order concatenation); errors are likewise reported from the earliest
+// chunk, which is exactly the error the serial loop would have hit first.
+//
+// The safety argument, in one place:
+//   - the queryPlan (candidate slices, hash tables, residual conjunct ASTs)
+//     is never written after buildPlan returns;
+//   - statement ASTs are read-only during execution — the analyzer caches
+//     attribute offsets (AttrRef.idx) before execution starts;
+//   - expression evaluation (eval.go) is allocation-local: it reads the
+//     env's binding cells and allocates its own results, touching no
+//     session or package state beyond the atomic obs counters;
+//   - store reads happened at plan time under DB.mu.RLock; workers touch
+//     only the materialized []tdb.Version snapshots plus immutable schema
+//     metadata (see the concurrency notes on tdb.Relation).
+
+// parallelMinOuter is the smallest outer candidate list worth fanning out.
+// Below it, goroutine startup and merge overhead exceed the loop itself, so
+// execution stays on the serial path. Tests override it to force the
+// parallel path onto small fixtures.
+var parallelMinOuter = 128
+
+// parallelChunksPerWorker over-partitions the outer range so stragglers
+// (chunks whose candidates fan out into many inner bindings) even out.
+const parallelChunksPerWorker = 4
+
+// SetParallelism fixes the number of workers retrieve execution may use.
+// n <= 1 forces the serial path; 0 (the default) resolves to
+// runtime.GOMAXPROCS(0) at execution time. The TDB_PARALLEL environment
+// variable, when set to an integer, provides the initial value for new
+// sessions.
+func (s *Session) SetParallelism(n int) { s.parallelism = n }
+
+// effectiveParallelism resolves the session's worker budget.
+func (s *Session) effectiveParallelism() int {
+	if s.parallelism != 0 {
+		return s.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// execTally is one executor goroutine's private per-row counters. Workers
+// accumulate with plain +=; the coordinator sums the tallies after the
+// merge and settles the atomic metrics once per statement.
+type execTally struct {
+	scanned   int64
+	joinPairs int64
+	probes    int64
+}
+
+func (t *execTally) add(o execTally) {
+	t.scanned += o.scanned
+	t.joinPairs += o.joinPairs
+	t.probes += o.probes
+}
+
+// planExec is the mutable state of one executor goroutine: an environment
+// with its own binding cells (one per plan variable, reused across
+// candidates), the rows it has emitted, and its tally. The serial path uses
+// exactly one; the parallel path one per worker.
+type planExec struct {
+	ev    *env
+	cells []binding
+	rows  []ResultRow
+	tally execTally
+}
+
+// newPlanExec builds an executor for the plan, with binding cells pre-wired
+// to each variable's relation.
+func newPlanExec(pl *queryPlan, now temporal.Chronon) *planExec {
+	ex := &planExec{
+		ev:    &env{vars: make(map[string]*binding, len(pl.vars)), now: now},
+		cells: make([]binding, len(pl.vars)),
+	}
+	for d := range pl.vars {
+		ex.cells[d].rel = pl.vars[d].rel
+	}
+	return ex
+}
+
+// runPlan executes the compiled join loop with the outermost variable
+// restricted to its candidates in [lo, hi). emitRow is called with every
+// variable bound; it reads ex.ev and appends to ex.rows.
+func runPlan(pl *queryPlan, ex *planExec, lo, hi int, emitRow func(*planExec) error) error {
+	var emit func(depth int) error
+	emit = func(depth int) error {
+		if depth == len(pl.vars) {
+			return emitRow(ex)
+		}
+		pv := &pl.vars[depth]
+		b := &ex.cells[depth]
+		ex.ev.vars[pv.name] = b
+		step := func(ver *tdb.Version) error {
+			ex.tally.scanned++
+			if depth > 0 {
+				ex.tally.joinPairs++
+			}
+			b.data, b.valid, b.trans = ver.Data, ver.Valid, ver.Trans
+			ok, err := pv.admit(ex.ev)
+			if err != nil || !ok {
+				return err
+			}
+			return emit(depth + 1)
+		}
+		if pv.join != nil {
+			ex.tally.probes++
+			probe := &ex.cells[pv.join.probeDepth]
+			key := joinHash(probe.data[pv.join.probeIdx], pv.join.numeric)
+			for _, pos := range pv.join.table.Lookup(key) {
+				if err := step(&pv.versions[pos]); err != nil {
+					return err
+				}
+			}
+		} else {
+			from, to := 0, len(pv.versions)
+			if depth == 0 {
+				from, to = lo, hi
+			}
+			for i := from; i < to; i++ {
+				if err := step(&pv.versions[i]); err != nil {
+					return err
+				}
+			}
+		}
+		delete(ex.ev.vars, pv.name)
+		return nil
+	}
+	return emit(0)
+}
+
+// useParallel decides whether a compiled plan takes the worker-pool path.
+// Aggregate queries stay serial (the aggregator folds into shared per-group
+// state), as do empty plans, plans short-circuited by a false variable-free
+// conjunct, and outer candidate lists too small to amortize the fan-out.
+func useParallel(pl *queryPlan, workers int, agg *aggregator) bool {
+	return workers > 1 && agg == nil && !pl.emptyResult &&
+		len(pl.vars) > 0 && len(pl.vars[0].versions) >= parallelMinOuter
+}
+
+// runParallel fans the outermost candidate range out over a worker pool and
+// merges per-chunk results deterministically. It returns the merged rows,
+// the summed tally, and the number of workers and chunks used. On error it
+// returns the error the serial loop would have reported: every chunk still
+// runs to completion (or its own first error), and the earliest chunk's
+// error wins.
+func runParallel(pl *queryPlan, now temporal.Chronon, workers int,
+	emitRow func(*planExec) error) ([]ResultRow, execTally, int, int, error) {
+
+	n := len(pl.vars[0].versions)
+	chunkSize := n / (workers * parallelChunksPerWorker)
+	if chunkSize < parallelMinOuter/2 {
+		chunkSize = parallelMinOuter / 2
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	numChunks := (n + chunkSize - 1) / chunkSize
+	if workers > numChunks {
+		workers = numChunks
+	}
+
+	chunkRows := make([][]ResultRow, numChunks)
+	chunkErr := make([]error, numChunks)
+	tallies := make([]execTally, workers)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex := newPlanExec(pl, now)
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= numChunks {
+					break
+				}
+				lo := ci * chunkSize
+				hi := min(lo+chunkSize, n)
+				ex.rows = nil
+				if err := runPlan(pl, ex, lo, hi, emitRow); err != nil {
+					chunkErr[ci] = err
+					continue
+				}
+				chunkRows[ci] = ex.rows
+			}
+			tallies[w] = ex.tally
+		}(w)
+	}
+	wg.Wait()
+
+	var tally execTally
+	for _, t := range tallies {
+		tally.add(t)
+	}
+	total := 0
+	for ci := 0; ci < numChunks; ci++ {
+		if chunkErr[ci] != nil {
+			return nil, tally, workers, numChunks, chunkErr[ci]
+		}
+		total += len(chunkRows[ci])
+	}
+	rows := make([]ResultRow, 0, total)
+	for _, cr := range chunkRows {
+		rows = append(rows, cr...)
+	}
+	return rows, tally, workers, numChunks, nil
+}

@@ -38,6 +38,9 @@ import (
 // naive path; TestPlannerDifferential asserts both agree.
 
 // queryPlan is a compiled retrieve statement, valid for one execution.
+// After buildPlan returns, the plan is immutable: executors (the serial
+// loop or the parallel workers, see parallel.go) only read it, keeping
+// their mutable binding cells and tallies in a per-goroutine planExec.
 type queryPlan struct {
 	vars []planVar
 
@@ -45,7 +48,9 @@ type queryPlan struct {
 	// no binding can ever qualify, so execution skips the join loop.
 	emptyResult bool
 
-	// Observability tallies, settled into counters by the executor.
+	// Observability tallies, accumulated with plain += on the planning
+	// goroutine and settled into the atomic counters exactly once, post
+	// merge, by the executor (see execRetrieve's settle).
 	pushed      int64 // single-variable conjuncts applied during prefiltering
 	whenIndexed int64 // when conjuncts answered through an interval index
 	buildRows   int64 // rows hashed into equi-join build tables
@@ -64,27 +69,25 @@ type planVar struct {
 	versions []tdb.Version
 
 	// join, when non-nil, replaces the scan over versions with a probe of
-	// table keyed by the bound value of probeBind.data[probeIdx].
+	// table keyed by the bound value of the probe variable's binding cell.
 	join *hashJoin
 
 	// Residual conjuncts settled once this variable is bound.
 	where []Expr
 	when  []TemporalExpr
-
-	// bind is the variable's reusable binding cell; the executor mutates
-	// its data/valid/trans fields per candidate instead of allocating.
-	bind *binding
 }
 
 // hashJoin is one compiled equi-join edge: the inner (build) side's
 // versions hashed on the build attribute, probed with the outer side's
-// bound value.
+// bound value. probeDepth identifies the outer variable by binding depth
+// rather than by a shared cell pointer, so concurrent executors can each
+// resolve it against their own binding cells.
 type hashJoin struct {
-	table     *index.Hash
-	buildIdx  int      // join attribute offset in the build (inner) schema
-	probeBind *binding // the already-bound outer variable's binding cell
-	probeIdx  int      // join attribute offset in the probe (outer) schema
-	numeric   bool     // normalize int/float keys before hashing
+	table      *index.Hash
+	buildIdx   int  // join attribute offset in the build (inner) schema
+	probeDepth int  // binding depth of the already-bound outer variable
+	probeIdx   int  // join attribute offset in the probe (outer) schema
+	numeric    bool // normalize int/float keys before hashing
 }
 
 // splitAnd flattens the top-level AND tree of a scalar predicate into its
@@ -343,8 +346,8 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 		}
 
 		filters := perVarWhere[v]
-		b := &binding{rel: rel}
 		if len(filters)+len(tfilters) > 0 {
+			b := &binding{rel: rel}
 			ev.vars[v] = b
 			kept := base[:0]
 			for vi := range base {
@@ -379,7 +382,7 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 			delete(ev.vars, v)
 			pl.pushed += int64(len(filters) + len(tfilters))
 		}
-		pl.vars[i] = planVar{name: v, orig: i, rel: rel, versions: base, bind: b}
+		pl.vars[i] = planVar{name: v, orig: i, rel: rel, versions: base}
 	}
 
 	// Join ordering: smallest filtered cardinality binds first (stable, so
@@ -413,7 +416,8 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 		if pv.join != nil {
 			continue
 		}
-		outer := &pl.vars[depthOf[probe.Var]]
+		probeDepth := depthOf[probe.Var]
+		outer := &pl.vars[probeDepth]
 		buildIdx := pv.rel.Schema().Index(build.Attr)
 		probeIdx := outer.rel.Schema().Index(probe.Attr)
 		if buildIdx < 0 || probeIdx < 0 {
@@ -430,7 +434,7 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 		}
 		pl.buildRows += int64(len(pv.versions))
 		pv.join = &hashJoin{table: table, buildIdx: buildIdx,
-			probeBind: outer.bind, probeIdx: probeIdx, numeric: numeric}
+			probeDepth: probeDepth, probeIdx: probeIdx, numeric: numeric}
 	}
 	for d := 1; d < len(pl.vars); d++ {
 		if pl.vars[d].join == nil {

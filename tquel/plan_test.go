@@ -172,8 +172,8 @@ func TestPlanJoinOrderAndBuildSide(t *testing.T) {
 	if hj.numeric {
 		t.Error("int = int join must not need numeric normalization")
 	}
-	if hj.probeBind != pl.vars[0].bind {
-		t.Error("probe must read the outer variable's binding cell")
+	if hj.probeDepth != 0 {
+		t.Errorf("probeDepth = %d, want 0 (the outer variable's binding depth)", hj.probeDepth)
 	}
 	if pl.fallbacks != 0 {
 		t.Errorf("fallbacks = %d, want 0", pl.fallbacks)
@@ -316,11 +316,22 @@ func TestDisablePlannerEnv(t *testing.T) {
 	}
 }
 
-// differential runs the query with the planner on and off and asserts the
-// rendered resultsets are byte-identical.
+// forceParallel lowers the fan-out threshold so the parallel path engages
+// even on the small test fixtures, restoring it on cleanup.
+func forceParallel(t testing.TB) {
+	t.Helper()
+	old := parallelMinOuter
+	parallelMinOuter = 1
+	t.Cleanup(func() { parallelMinOuter = old })
+}
+
+// differential runs the query three ways — planner on (serial), planner
+// off (naive nested loop), and planner on with a four-worker pool — and
+// asserts all rendered resultsets are byte-identical.
 func differential(t *testing.T, ses *Session, src string) {
 	t.Helper()
 	ses.DisablePlanner(false)
+	ses.SetParallelism(1)
 	on, err := ses.Query(src)
 	if err != nil {
 		t.Fatalf("planner on: %v\n%s", err, src)
@@ -331,15 +342,26 @@ func differential(t *testing.T, ses *Session, src string) {
 	if err != nil {
 		t.Fatalf("planner off: %v\n%s", err, src)
 	}
+	ses.SetParallelism(4)
+	par, err := ses.Query(src)
+	ses.SetParallelism(1)
+	if err != nil {
+		t.Fatalf("parallel: %v\n%s", err, src)
+	}
 	if on.String() != off.String() {
 		t.Errorf("planner changed the answer for:\n%s\n--- planner on ---\n%s\n--- planner off ---\n%s",
 			src, on, off)
+	}
+	if on.String() != par.String() {
+		t.Errorf("parallel execution changed the answer for:\n%s\n--- serial ---\n%s\n--- parallel ---\n%s",
+			src, on, par)
 	}
 }
 
 // The paper's figure queries must render identically with and without the
 // planner.
 func TestPlannerDifferentialFigures(t *testing.T) {
+	forceParallel(t)
 	ses := paperSession(t)
 	if _, err := ses.Exec("range of f1 is faculty\nrange of f2 is faculty"); err != nil {
 		t.Fatal(err)
@@ -370,6 +392,7 @@ func TestPlannerDifferentialFigures(t *testing.T) {
 // (date-string scalar comparisons, aggregates over floats), since the
 // planner may surface such errors from a different binding order.
 func TestPlannerDifferential(t *testing.T) {
+	forceParallel(t)
 	ses := paperSession(t)
 	if _, err := ses.Exec(`
 		create historical relation emp (name = string, dept = string, pay = int) key (name)

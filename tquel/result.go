@@ -1,8 +1,8 @@
 package tquel
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"tdb"
@@ -15,6 +15,27 @@ type ResultRow struct {
 	Data  tdb.Tuple
 	Valid temporal.Interval
 	Trans temporal.Interval
+
+	// key caches canonicalKey. The executor fills it at emit time (on the
+	// parallel path that spreads the formatting across workers);
+	// sortAndDedup computes it lazily for rows built elsewhere, e.g. by
+	// the aggregator.
+	key string
+}
+
+// canonicalKey renders the row's canonical sort/dedup key: the tuple's
+// display form plus the four stamp chronons. Byte-compatible with the
+// fmt.Sprintf("%v|%d|%d|%d|%d") spelling it replaced, so resultset order —
+// and every golden figure — is unchanged.
+func (row *ResultRow) canonicalKey() string {
+	var b strings.Builder
+	b.Grow(len(row.Data)*8 + 48)
+	b.WriteString(row.Data.String())
+	for _, c := range [4]temporal.Chronon{row.Valid.From, row.Valid.To, row.Trans.From, row.Trans.To} {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatInt(int64(c), 10))
+	}
+	return b.String()
 }
 
 // Resultset is the materialized answer of a retrieve statement. Like the
@@ -72,19 +93,21 @@ func (r *Resultset) String() string {
 }
 
 // sortAndDedup puts rows in a deterministic order and removes duplicates.
+// Keys are computed at most once per row (not per comparison) and reused
+// from ResultRow.key when the executor already paid for them.
 func (r *Resultset) sortAndDedup() {
-	key := func(row ResultRow) string {
-		return fmt.Sprintf("%v|%d|%d|%d|%d", row.Data,
-			row.Valid.From, row.Valid.To, row.Trans.From, row.Trans.To)
+	for i := range r.Rows {
+		if r.Rows[i].key == "" {
+			r.Rows[i].key = r.Rows[i].canonicalKey()
+		}
 	}
-	sort.Slice(r.Rows, func(i, j int) bool { return key(r.Rows[i]) < key(r.Rows[j]) })
+	sort.Slice(r.Rows, func(i, j int) bool { return r.Rows[i].key < r.Rows[j].key })
 	out := r.Rows[:0]
 	prev := ""
 	for _, row := range r.Rows {
-		k := key(row)
-		if k != prev {
+		if row.key != prev {
 			out = append(out, row)
-			prev = k
+			prev = row.key
 		}
 	}
 	r.Rows = out
