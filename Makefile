@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-parallel test-noplanner bench bench-smoke bench-json bench-compare
+.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nocache figures-check bench bench-smoke bench-json bench-compare
 
-check: fmt vet build race race-parallel test-noplanner
+check: fmt vet build race race-parallel race-cache test-noplanner test-nocache figures-check
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,12 +29,31 @@ race:
 race-parallel:
 	TDB_PARALLEL=4 $(GO) test -race ./...
 
+# The race detector with a tiny query-cache budget: constant evictions and
+# shard churn while concurrent sessions read and write, so any
+# unsynchronized path through internal/qcache trips -race.
+race-cache:
+	TDB_CACHE_BYTES=65536 $(GO) test -race ./tquel ./server ./internal/qcache .
+
 # Ablation run: the whole suite with the TQuel query planner disabled, so
 # the naive nested-loop path stays correct (differential tests compare the
 # two paths inside a single process; this job exercises everything else on
 # the ablation path too).
 test-noplanner:
 	TDB_DISABLE_PLANNER=1 $(GO) test ./...
+
+# Ablation run with the query result cache disabled: every retrieve
+# executes. The differential tests also compare cached vs uncached inside
+# one process; this job exercises the whole suite on the uncached path.
+test-nocache:
+	TDB_CACHE_BYTES=0 $(GO) test ./...
+
+# The committed paper figures must match what the code generates.
+figures-check:
+	@$(GO) run ./cmd/figures > /tmp/tdb_figures_gen.txt && \
+		diff -u docs/figures.txt /tmp/tdb_figures_gen.txt && \
+		echo "figures: no drift" || \
+		{ echo "docs/figures.txt drifted from cmd/figures output" >&2; exit 1; }
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -50,10 +69,15 @@ bench-smoke:
 # `-bench JoinParallel -cpu 1,2,4` run CI does and EXPERIMENTS.md records.
 bench-json:
 	$(GO) test -run '^$$' -benchmem \
-		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel' \
-		./tquel | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel|BenchmarkAsOfCached' \
+		./tquel | $(GO) run ./cmd/benchjson > BENCH_PR4.json
 
 # Guard against the committed baseline: exits non-zero when a shared
 # benchmark got more than 1.25x slower (CI runs this warn-only; see ci.yml).
+# The baseline defaults to the second-newest committed BENCH_PR*.json and
+# the candidate to the newest, so the target needs no edit when a new
+# baseline lands; override either with BENCH_OLD=/BENCH_NEW=.
+BENCH_OLD ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -2 | head -1)
+BENCH_NEW ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
 bench-compare:
-	$(GO) run ./cmd/benchjson compare BENCH_PR2.json BENCH_PR3.json -threshold 1.25
+	$(GO) run ./cmd/benchjson compare $(BENCH_OLD) $(BENCH_NEW) -threshold 1.25

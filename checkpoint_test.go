@@ -302,3 +302,65 @@ func TestCorruptSnapshotSurfaces(t *testing.T) {
 		t.Fatalf("corrupt snapshot: %v", err)
 	}
 }
+
+// The per-relation write-version counters drive query-cache invalidation;
+// a checkpoint must carry them across restore exactly, or a post-restart
+// cache (fed by a warm peer or a shared key scheme) could rendezvous with
+// retired entries.
+func TestCheckpointPreservesWriteVersions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	db := reopen(t, path)
+	buildMixedDB(t, db)
+
+	want := map[string]uint64{}
+	for _, name := range db.Relations() {
+		rel, err := db.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = rel.WriteVersion()
+		if want[name] == 0 {
+			t.Errorf("relation %s: write version still 0 after writes", name)
+		}
+	}
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpointing is not a write: the live counters must not move.
+	for _, name := range db.Relations() {
+		rel, _ := db.Relation(name)
+		if got := rel.WriteVersion(); got != want[name] {
+			t.Errorf("relation %s: checkpoint moved write version %d -> %d", name, want[name], got)
+		}
+	}
+	db.Close()
+
+	// The log is empty, so recovery is snapshot-only: the restored counters
+	// must equal the persisted ones exactly (version replay during restore
+	// must not bump them on top).
+	db2 := reopen(t, path)
+	for _, name := range db2.Relations() {
+		rel, err := db2.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rel.WriteVersion(); got != want[name] {
+			t.Errorf("relation %s: write version after restore = %d, want %d", name, got, want[name])
+		}
+	}
+
+	// Writes after the restored snapshot keep counting from the restored
+	// value, preserving monotonicity across the restart.
+	if err := db2.UpdateAt(temporal.Date(1995, 1, 1), func(tx *Tx) error {
+		h, _ := tx.Rel("r_historical")
+		return h.Assert(fac("W", "w"), temporal.Date(1995, 1, 1), temporal.Forever)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := db2.Relation("r_historical")
+	if got := rel.WriteVersion(); got != want["r_historical"]+1 {
+		t.Errorf("post-restore write: version = %d, want %d", got, want["r_historical"]+1)
+	}
+	db2.Close()
+}

@@ -46,6 +46,11 @@ func compareReports(oldRep, newRep report, threshold float64) []comparison {
 	return out
 }
 
+// readReport loads and validates one report file. Beyond JSON syntax it
+// rejects trailing content after the document (a concatenated or truncated
+// file) and reports with no results (typically a bench run that failed
+// before producing output) — either would otherwise make compare print
+// "no shared benchmarks" and exit 0, silently passing a broken gate.
 func readReport(path string) (report, error) {
 	var rep report
 	f, err := os.Open(path)
@@ -53,8 +58,15 @@ func readReport(path string) (report, error) {
 		return rep, err
 	}
 	defer f.Close()
-	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+	dec := json.NewDecoder(f)
+	if err := dec.Decode(&rep); err != nil {
 		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return rep, fmt.Errorf("%s: trailing content after report", path)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: report has no benchmark results", path)
 	}
 	return rep, nil
 }

@@ -120,3 +120,45 @@ func TestCompareReportsRatios(t *testing.T) {
 		t.Errorf("B = %+v", cmps[1])
 	}
 }
+
+// Malformed input files must exit 2, not silently print "no shared
+// benchmarks" and pass: trailing content after the JSON document, a
+// non-report document, and a report with zero results are all rejected.
+func TestCompareMalformedInputs(t *testing.T) {
+	oldPath, _ := writeFixtures(t)
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"truncated.json": `{"results": [{"name": "BenchmarkA"`,
+		"trailing.json":  oldFixture + `{"results": []}`,
+		"garbage.json":   oldFixture + "\nnot json\n",
+		"array.json":     `[1, 2, 3]`,
+		"empty.json":     `{}`,
+		"noresults.json": `{"goos": "linux", "results": []}`,
+	}
+	for name, content := range cases {
+		bad := write(name, content)
+		for _, args := range [][]string{{bad, oldPath}, {oldPath, bad}} {
+			var stdout, stderr strings.Builder
+			if code := runCompare(args, &stdout, &stderr); code != 2 {
+				t.Errorf("%s as %v: exit code = %d, want 2\nstdout: %s",
+					name, args, code, stdout.String())
+			}
+			if stderr.Len() == 0 {
+				t.Errorf("%s: no diagnostic on stderr", name)
+			}
+		}
+	}
+	// The well-formed fixtures still compare cleanly at a loose threshold.
+	var stdout, stderr strings.Builder
+	if code := runCompare([]string{oldPath, oldPath}, &stdout, &stderr); code != 0 {
+		t.Errorf("self-compare exit code = %d\nstderr: %s", code, stderr.String())
+	}
+}

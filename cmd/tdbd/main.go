@@ -104,6 +104,7 @@ func run(cfg config, logger *log.Logger, sigs <-chan os.Signal, started func(ser
 					"current_versions": st.CurrentVersions,
 					"wal_records":      st.WALRecords,
 					"last_commit":      int64(st.LastCommit),
+					"cache":            db.QueryCache().Stats(),
 				}
 			},
 		})}

@@ -3,10 +3,13 @@ package tdb
 import (
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 	"sync"
 
 	"tdb/internal/catalog"
 	"tdb/internal/core"
+	"tdb/internal/qcache"
 	"tdb/internal/txn"
 	"tdb/internal/wal"
 	"tdb/temporal"
@@ -37,6 +40,10 @@ var (
 	ErrNoValidTime = errors.New("tdb: relation kind does not support historical queries")
 )
 
+// DefaultCacheBytes is the query cache budget when neither Options nor the
+// TDB_CACHE_BYTES environment variable chooses one.
+const DefaultCacheBytes = 64 << 20
+
 // Options configure Open.
 type Options struct {
 	// Clock supplies commit timestamps; nil means the system clock.
@@ -44,6 +51,24 @@ type Options struct {
 	Clock temporal.Clock
 	// Sync forces an fsync per committed transaction when a WAL is in use.
 	Sync bool
+	// CacheBytes bounds the query result cache shared by this database's
+	// sessions. Zero defers to the TDB_CACHE_BYTES environment variable
+	// and then to DefaultCacheBytes; a negative value (or TDB_CACHE_BYTES=0)
+	// disables the cache entirely — the ablation switch.
+	CacheBytes int64
+}
+
+// resolveCacheBytes applies the CacheBytes precedence documented on Options.
+func resolveCacheBytes(opt int64) int64 {
+	if opt != 0 {
+		return opt
+	}
+	if env := os.Getenv("TDB_CACHE_BYTES"); env != "" {
+		if n, err := strconv.ParseInt(env, 10, 64); err == nil {
+			return n
+		}
+	}
+	return DefaultCacheBytes
 }
 
 // DB is a temporal database: a catalog of relations plus the transaction
@@ -58,6 +83,7 @@ type DB struct {
 	walRecords int // records in the current log file
 	closed     bool
 	replay     bool // suppress WAL writes during recovery
+	qc         *qcache.Cache
 }
 
 // Open creates or reopens a database. An empty path yields a purely
@@ -70,6 +96,7 @@ func Open(path string, opts Options) (*DB, error) {
 		mgr:      txn.NewManager(txn.NewCommitClock(opts.Clock)),
 		path:     path,
 		snapPath: path + ".snap",
+		qc:       qcache.New(resolveCacheBytes(opts.CacheBytes)),
 	}
 	if path == "" {
 		return db, nil
@@ -168,6 +195,10 @@ func (db *DB) restoreSnapshot(snap wal.Snapshot) error {
 				return fmt.Errorf("restoring %q: %w", rs.Name, err)
 			}
 		}
+		// Versions were replayed through direct store calls (no bumps);
+		// re-establish the persisted mutation counter so cache keys minted
+		// before the checkpoint can never match post-recovery state.
+		rel.Store().ObserveWriteVersion(rs.WriteVersion)
 	}
 	return db.mgr.Clock().Observe(snap.LastCommit)
 }
@@ -195,10 +226,11 @@ func (db *DB) Checkpoint() error {
 			return err
 		}
 		rs := wal.RelationSnapshot{
-			Name:   name,
-			Kind:   rel.Kind(),
-			Event:  rel.Event(),
-			Schema: rel.Schema(),
+			Name:         name,
+			Kind:         rel.Kind(),
+			Event:        rel.Event(),
+			Schema:       rel.Schema(),
+			WriteVersion: rel.WriteVersion(),
 		}
 		rel.Store().Versions(func(v Version) bool {
 			rs.Versions = append(rs.Versions, v)
@@ -213,10 +245,19 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	db.walRecords = 0
+	// Conservatively drop warm results: the checkpoint is the boundary a
+	// subsequent restore resumes from, so a cache that straddles it could
+	// otherwise mix pre- and post-recovery keyed entries.
+	db.qc.Clear()
 	// Normalize immediately: the truncated log has no covered prefix.
 	snap.Records = 0
 	return wal.WriteSnapshot(db.snapPath, snap)
 }
+
+// QueryCache returns the database's shared query result cache; nil-safe to
+// use, and nil when caching is disabled (CacheBytes < 0 or
+// TDB_CACHE_BYTES=0).
+func (db *DB) QueryCache() *qcache.Cache { return db.qc }
 
 // Close releases the database; further use returns ErrClosed.
 func (db *DB) Close() error {

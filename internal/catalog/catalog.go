@@ -8,10 +8,18 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"tdb/internal/core"
 	"tdb/internal/schema"
 )
+
+// relGen hands every created relation a process-unique generation number.
+// The query cache keys entries by (name, generation, write version), so
+// dropping and recreating a relation under the same name — which resets the
+// store's write-version counter to zero — can never resurrect cached
+// results from the earlier incarnation.
+var relGen atomic.Uint64
 
 // Errors returned by catalog operations.
 var (
@@ -29,6 +37,7 @@ type Relation struct {
 	name  string
 	kind  core.Kind
 	event bool
+	gen   uint64
 
 	static     *core.StaticStore
 	rollback   *core.RollbackStore
@@ -44,6 +53,12 @@ func (r *Relation) Kind() core.Kind { return r.kind }
 
 // Event reports whether the relation is an event relation.
 func (r *Relation) Event() bool { return r.event }
+
+// Gen returns the relation's process-unique creation generation (see relGen).
+func (r *Relation) Gen() uint64 { return r.gen }
+
+// WriteVersion returns the store's monotonic mutation counter.
+func (r *Relation) WriteVersion() uint64 { return r.Store().WriteVersion() }
 
 // Schema returns the relation schema.
 func (r *Relation) Schema() *schema.Schema { return r.Store().Schema() }
@@ -124,7 +139,7 @@ func (c *Catalog) Create(name string, kind core.Kind, event bool, sch *schema.Sc
 	if event && !kind.SupportsHistorical() {
 		return nil, fmt.Errorf("%w: %s relations carry no valid time to stamp events with", ErrKindMismatch, kind)
 	}
-	r := &Relation{name: name, kind: kind, event: event}
+	r := &Relation{name: name, kind: kind, event: event, gen: relGen.Add(1)}
 	switch kind {
 	case core.Static:
 		r.static = core.NewStaticStore(sch)

@@ -29,6 +29,7 @@ type TemporalStore struct {
 	lastCommit temporal.Chronon
 	useIndex   bool
 	j          journal
+	verCounter
 }
 
 type btRow struct {

@@ -26,6 +26,7 @@ type HistoricalStore struct {
 	byKey   index.Hash // key hash -> live positions (all valid periods)
 	byValid *index.IntervalTree
 	j       journal
+	verCounter
 }
 
 type histRow struct {

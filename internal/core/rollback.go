@@ -28,6 +28,7 @@ type RollbackStore struct {
 	lastCommit temporal.Chronon
 	useIndex   bool
 	j          journal
+	verCounter
 }
 
 type rbRow struct {

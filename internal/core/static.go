@@ -21,6 +21,7 @@ type StaticStore struct {
 	free  []int
 	byKey index.Hash
 	j     journal
+	verCounter
 }
 
 // NewStaticStore creates an empty static relation with the given schema.

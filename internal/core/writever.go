@@ -1,0 +1,36 @@
+package core
+
+import "sync/atomic"
+
+// verCounter is a monotonic write-version counter embedded in every store.
+// The transaction layer bumps it after each successful mutation (including
+// WAL replay, which re-enters the same transaction methods), and the query
+// cache keys current-state results by the resulting per-relation vector: a
+// cached entry recorded under an older version is simply never looked up
+// again, so invalidation needs no cross-component callbacks.
+//
+// Like the rest of a store, the counter is written only behind the owning
+// database's write lock; it is atomic so the cache layer can read it under
+// the shared read lock while a bump is pending on another relation.
+type verCounter struct {
+	writeVer atomic.Uint64
+}
+
+// WriteVersion returns the count of successful mutations applied to the
+// store since creation (or since the value persisted by the last snapshot).
+func (v *verCounter) WriteVersion() uint64 { return v.writeVer.Load() }
+
+// BumpWriteVersion records one successful mutation.
+func (v *verCounter) BumpWriteVersion() { v.writeVer.Add(1) }
+
+// ObserveWriteVersion raises the counter to at least n; snapshot restore
+// uses it to re-establish the persisted version so a warm cache keyed
+// against pre-checkpoint versions is never served after recovery.
+func (v *verCounter) ObserveWriteVersion(n uint64) {
+	for {
+		cur := v.writeVer.Load()
+		if cur >= n || v.writeVer.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package qcache is a sharded, size-bounded (LRU with byte accounting)
+// result cache for query answers. It exploits the taxonomy's central
+// property of transaction time: the database's past states are append-only,
+// so a result whose temporal scope is settled entirely in the past of
+// transaction time can be cached immutably, and a current-state result can
+// be cached until a write-version counter on any participating relation
+// moves (see docs/caching.md for the full argument).
+//
+// The cache itself is policy-free: callers bake immutability or
+// invalidation into the key (the TQuel layer appends a per-relation
+// write-version vector to current-state keys, so a stale entry is simply
+// never looked up again and ages out of the LRU). Values are opaque; the
+// caller owns any copy-on-store / copy-on-return discipline.
+//
+// Concurrency: every method is safe for concurrent use. Keys are hashed
+// onto independently locked shards, so sessions serving different queries
+// rarely contend.
+package qcache
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"tdb/internal/obs"
+)
+
+// Process-wide counters (aggregated across caches; a process normally hosts
+// one database and therefore one cache). The bytes/entries gauges are
+// updated with deltas so several caches sum instead of clobbering.
+var (
+	mHits = obs.Default.Counter("tdb_qcache_hits_total",
+		"Query cache lookups answered from a cached resultset.")
+	mMisses = obs.Default.Counter("tdb_qcache_misses_total",
+		"Query cache lookups that found no entry and fell through to execution.")
+	mInserts = obs.Default.Counter("tdb_qcache_insertions_total",
+		"Resultsets stored in the query cache.")
+	mEvictions = obs.Default.Counter("tdb_qcache_evictions_total",
+		"Entries evicted from the query cache to respect its byte budget.")
+	mRejected = obs.Default.Counter("tdb_qcache_oversize_rejected_total",
+		"Resultsets not cached because a single entry exceeded a shard's byte budget.")
+	gBytes = obs.Default.Gauge("tdb_qcache_bytes",
+		"Estimated bytes resident in the query cache (keys + cached resultsets).")
+	gEntries = obs.Default.Gauge("tdb_qcache_entries",
+		"Entries resident in the query cache.")
+)
+
+// numShards is the fixed shard count (power of two for cheap masking).
+// Sixteen keeps per-shard LRU lists long enough to be useful at small
+// budgets while giving concurrent sessions independent locks.
+const numShards = 16
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Inserts   uint64 `json:"insertions"`
+	Evictions uint64 `json:"evictions"`
+	Rejected  uint64 `json:"oversize_rejected"`
+	Clears    uint64 `json:"clears"`
+	Entries   int64  `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+}
+
+// Cache is a sharded LRU over string keys with a global byte budget.
+type Cache struct {
+	shards [numShards]shard
+	seed   maphash.Seed
+	max    int64
+
+	hits, misses, inserts, evictions, rejected, clears atomic.Uint64
+	bytes, entries                                     atomic.Int64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	lru   *list.List // front = most recently used
+	bytes int64
+	max   int64
+}
+
+type entry struct {
+	key   string
+	val   any
+	bytes int64
+}
+
+// New creates a cache bounded by maxBytes (keys plus values, as accounted
+// by the caller's size estimates). maxBytes <= 0 yields a nil cache, which
+// every method treats as disabled.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	perShard := maxBytes / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{seed: maphash.MakeSeed(), max: maxBytes}
+	for i := range c.shards {
+		c.shards[i].items = make(map[string]*list.Element)
+		c.shards[i].lru = list.New()
+		c.shards[i].max = perShard
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[maphash.String(c.seed, key)&(numShards-1)]
+}
+
+// Get returns the value cached under key, promoting it to most recently
+// used. The caller must not mutate the returned value (the TQuel layer
+// clones resultsets on the way out; see Resultset.Clone).
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		mMisses.Inc()
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	val := el.Value.(*entry).val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	mHits.Inc()
+	return val, true
+}
+
+// Put stores val under key, charging size bytes against the budget and
+// evicting least-recently-used entries as needed. A replacement under an
+// existing key re-charges the new size. Entries larger than a shard's
+// budget are rejected rather than cached (they would evict an entire shard
+// for one entry). The caller must not mutate val after Put.
+func (c *Cache) Put(key string, val any, size int64) {
+	if c == nil {
+		return
+	}
+	if size < 1 {
+		size = 1
+	}
+	s := c.shardFor(key)
+	if size > s.max {
+		c.rejected.Add(1)
+		mRejected.Inc()
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		delta := size - e.bytes
+		e.val, e.bytes = val, size
+		s.bytes += delta
+		s.lru.MoveToFront(el)
+		c.bytes.Add(delta)
+		gBytes.Add(delta)
+	} else {
+		s.items[key] = s.lru.PushFront(&entry{key: key, val: val, bytes: size})
+		s.bytes += size
+		c.bytes.Add(size)
+		c.entries.Add(1)
+		gBytes.Add(size)
+		gEntries.Inc()
+	}
+	c.inserts.Add(1)
+	mInserts.Inc()
+	evicted := 0
+	for s.bytes > s.max {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.items, e.key)
+		s.bytes -= e.bytes
+		c.bytes.Add(-e.bytes)
+		c.entries.Add(-1)
+		gBytes.Add(-e.bytes)
+		gEntries.Dec()
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+		mEvictions.Add(uint64(evicted))
+	}
+}
+
+// Clear drops every entry (checkpoint/restore invalidation and the server's
+// "cache clear" command).
+func (c *Cache) Clear() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		dropped := int64(len(s.items))
+		bytes := s.bytes
+		s.items = make(map[string]*list.Element)
+		s.lru.Init()
+		s.bytes = 0
+		s.mu.Unlock()
+		c.bytes.Add(-bytes)
+		c.entries.Add(-dropped)
+		gBytes.Add(-bytes)
+		gEntries.Add(-dropped)
+	}
+	c.clears.Add(1)
+}
+
+// MaxBytes returns the configured budget (0 for a disabled cache).
+func (c *Cache) MaxBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.max
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.entries.Load())
+}
+
+// Bytes returns the estimated resident bytes.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.bytes.Load()
+}
+
+// Stats snapshots this cache's counters (the /statz admin section and the
+// server's "cache" command).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Inserts:   c.inserts.Load(),
+		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
+		Clears:    c.clears.Load(),
+		Entries:   c.entries.Load(),
+		Bytes:     c.bytes.Load(),
+		MaxBytes:  c.max,
+	}
+}

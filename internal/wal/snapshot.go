@@ -25,13 +25,18 @@ type Snapshot struct {
 	Relations  []RelationSnapshot
 }
 
-// RelationSnapshot is one relation's definition and contents.
+// RelationSnapshot is one relation's definition and contents. WriteVersion
+// carries the relation's mutation counter across checkpoint + restore, so a
+// query cache keyed by write versions is never served stale after recovery
+// (the restored counter resumes where the live one stopped instead of
+// restarting from zero).
 type RelationSnapshot struct {
-	Name     string
-	Kind     core.Kind
-	Event    bool
-	Schema   *schema.Schema
-	Versions []core.Version
+	Name         string
+	Kind         core.Kind
+	Event        bool
+	Schema       *schema.Schema
+	WriteVersion uint64
+	Versions     []core.Version
 }
 
 var snapMagic = []byte("TDBSNAP1")
@@ -53,6 +58,7 @@ func EncodeSnapshot(s Snapshot) []byte {
 			payload = append(payload, 0)
 		}
 		payload = appendSchema(payload, r.Schema)
+		payload = binary.AppendUvarint(payload, r.WriteVersion)
 		payload = binary.AppendUvarint(payload, uint64(len(r.Versions)))
 		for _, v := range r.Versions {
 			payload = v.Data.AppendBinary(payload)
@@ -116,6 +122,12 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 		}
 		r.Schema = sch
 		off += n
+		wv, n := binary.Uvarint(payload[off:])
+		if n <= 0 {
+			return s, fmt.Errorf("%w: write version", ErrSnapshotCorrupt)
+		}
+		off += n
+		r.WriteVersion = wv
 		nVers, n := binary.Uvarint(payload[off:])
 		if n <= 0 {
 			return s, fmt.Errorf("%w: version count", ErrSnapshotCorrupt)

@@ -38,6 +38,17 @@ func (r *Relation) Event() bool { return r.rel.Event() }
 // Schema returns the relation schema.
 func (r *Relation) Schema() *Schema { return r.rel.Schema() }
 
+// WriteVersion returns the relation's monotonic mutation counter: it
+// advances on every successful append/delete/replace/assert/retract
+// (including WAL replay) and survives checkpoint + restore. The query cache
+// keys current-state results by it; reads are atomic, so no lock is taken.
+func (r *Relation) WriteVersion() uint64 { return r.rel.WriteVersion() }
+
+// Gen returns the relation's process-unique creation generation. Together
+// with WriteVersion it makes a cache key immune to drop-and-recreate under
+// the same name.
+func (r *Relation) Gen() uint64 { return r.rel.Gen() }
+
 // Insert adds a tuple to a static or rollback relation (one-op
 // transaction).
 func (r *Relation) Insert(t Tuple) error {

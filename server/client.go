@@ -37,7 +37,17 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 // error means the transport failed; execution errors arrive in
 // Response.Error with the connection still usable.
 func (c *Client) Exec(src string) (*Response, error) {
-	line, err := encodeLine(Request{Src: src})
+	return c.send(Request{Src: src})
+}
+
+// Command sends an admin command ("cache", "cache clear") and returns the
+// server's response; cache statistics arrive in Response.Cache.
+func (c *Client) Command(cmd string) (*Response, error) {
+	return c.send(Request{Cmd: cmd})
+}
+
+func (c *Client) send(req Request) (*Response, error) {
+	line, err := encodeLine(req)
 	if err != nil {
 		return nil, err
 	}

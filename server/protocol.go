@@ -16,11 +16,17 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+
+	"tdb/internal/qcache"
 )
 
-// Request is one client message: TQuel source to execute.
+// Request is one client message: TQuel source to execute, or an admin
+// command when Cmd is set (Src is ignored then). Supported commands:
+// "cache" (report query-cache statistics) and "cache clear" (drop every
+// cached result).
 type Request struct {
 	Src string `json:"src"`
+	Cmd string `json:"cmd,omitempty"`
 }
 
 // Outcome mirrors tquel.Outcome for the wire.
@@ -38,6 +44,8 @@ type Outcome struct {
 // Response is one server message.
 type Response struct {
 	Outcomes []Outcome `json:"outcomes,omitempty"`
+	// Cache carries query-cache statistics for the "cache" command.
+	Cache *qcache.Stats `json:"cache,omitempty"`
 	// Error is set when execution failed; outcomes of statements that
 	// succeeded before the failure are still included.
 	Error string `json:"error,omitempty"`

@@ -157,6 +157,8 @@ func (s *Server) handle(conn net.Conn) {
 			mMalformedTotal.Inc()
 			s.logger.Printf("malformed request from %s: %v", conn.RemoteAddr(), err)
 			resp.Error = fmt.Sprintf("malformed request: %v", err)
+		} else if req.Cmd != "" {
+			resp = s.handleCmd(req.Cmd)
 		} else {
 			outs, err := ses.Exec(req.Src)
 			for _, o := range outs {
@@ -204,6 +206,27 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.logger.Printf("connection read: %v", err)
+	}
+}
+
+// handleCmd serves the admin commands carried by Request.Cmd. A disabled
+// cache still answers "cache" (zeroed stats with max_bytes 0) so operators
+// can tell "off" from "cold".
+func (s *Server) handleCmd(cmd string) Response {
+	switch strings.TrimSpace(cmd) {
+	case "cache":
+		st := s.db.QueryCache().Stats()
+		return Response{Cache: &st}
+	case "cache clear":
+		qc := s.db.QueryCache()
+		qc.Clear()
+		st := qc.Stats()
+		return Response{
+			Cache:    &st,
+			Outcomes: []Outcome{{Stmt: "cache", Msg: "cache cleared"}},
+		}
+	default:
+		return Response{Error: fmt.Sprintf("unknown command %q (try \"cache\" or \"cache clear\")", cmd)}
 	}
 }
 

@@ -309,3 +309,77 @@ func TestServerAddrAndListenAndServe(t *testing.T) {
 		t.Error("bad listen address must fail")
 	}
 }
+
+// The "cache" and "cache clear" admin commands inspect and reset the
+// query result cache over the wire. The database is opened with an
+// explicit cache budget so the test is deterministic even when the suite
+// runs with TDB_CACHE_BYTES=0 (the cache-off ablation job).
+func TestCacheCommand(t *testing.T) {
+	db, err := tdb.Open("", tdb.Options{
+		Clock:      temporal.NewTickingClock(temporal.Date(1985, 1, 1)),
+		CacheBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := New(db, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if resp, err := c.Exec(`
+		create static relation cc (x = int) key (x)
+		range of v is cc
+		append to cc (x = 1)
+	`); err != nil || resp.Error != "" {
+		t.Fatalf("setup: %v / %+v", err, resp)
+	}
+	// Same retrieve twice: a miss that populates, then a hit.
+	for i := 0; i < 2; i++ {
+		if resp, err := c.Exec(`retrieve (v.x)`); err != nil || resp.Error != "" {
+			t.Fatalf("retrieve %d: %v / %+v", i, err, resp)
+		}
+	}
+	resp, err := c.Command("cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" || resp.Cache == nil {
+		t.Fatalf("cache command response = %+v", resp)
+	}
+	if resp.Cache.Hits < 1 || resp.Cache.Entries < 1 || resp.Cache.MaxBytes != 1<<20 {
+		t.Fatalf("cache stats = %+v", resp.Cache)
+	}
+
+	resp, err = c.Command("cache clear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" || resp.Cache == nil || resp.Cache.Entries != 0 || resp.Cache.Bytes != 0 {
+		t.Fatalf("cache clear response = %+v", resp)
+	}
+	if len(resp.Outcomes) != 1 || resp.Outcomes[0].Msg != "cache cleared" {
+		t.Fatalf("cache clear outcomes = %+v", resp.Outcomes)
+	}
+
+	resp, err = c.Command("bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Fatal("unknown command must report an error")
+	}
+}

@@ -41,6 +41,7 @@ func BenchmarkExecRetrieve(b *testing.B) {
 	if _, err := ses.Exec("range of f1 is faculty\nrange of f2 is faculty"); err != nil {
 		b.Fatal(err)
 	}
+	ses.DisableCache(true) // measure execution, not cache hits
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ses.Query(benchQuery)
@@ -136,9 +137,12 @@ func benchKV(b *testing.B, db *tdb.DB, name string, n int, width int) {
 // benchBoth runs the query as planner-on and planner-off sub-benchmarks.
 // Both arms pin the session to one worker so the numbers track the serial
 // executor across PRs regardless of the machine's core count;
-// BenchmarkJoinParallel measures the worker-pool path.
+// BenchmarkJoinParallel measures the worker-pool path. The result cache is
+// bypassed — these benchmarks repeat one query and would otherwise measure
+// hit latency (BenchmarkAsOfCached owns that number).
 func benchBoth(b *testing.B, ses *Session, src string, wantRows int) {
 	b.Helper()
+	ses.DisableCache(true)
 	ses.SetParallelism(1)
 	defer ses.SetParallelism(0)
 	for _, mode := range []struct {
@@ -220,6 +224,7 @@ func BenchmarkJoinParallel(b *testing.B) {
 	if _, err := ses.Exec("range of a is p1\nrange of b is p2"); err != nil {
 		b.Fatal(err)
 	}
+	ses.DisableCache(true) // measure the pool, not cache hits
 	ses.DisablePlanner(false)
 	ses.SetParallelism(0)
 	b.ReportAllocs()
@@ -267,5 +272,86 @@ func BenchmarkEvalWhereResolved(b *testing.B) {
 		if err != nil || !ok {
 			b.Fatalf("%v, %v", ok, err)
 		}
+	}
+}
+
+// BenchmarkAsOfCached is the headline case for the query result cache: a
+// settled as-of retrieve whose answer is transaction-closed, so after the
+// warm-up iteration the cache=on arm serves every query from the immutable
+// entry (one lookup plus a resultset clone). The cache=off arm re-executes
+// the rollback scan over 10000 versions each time. The fixture opens its
+// own database with an explicit budget so the numbers do not depend on
+// TDB_CACHE_BYTES.
+func BenchmarkAsOfCached(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{{"cache=on", false}, {"cache=off", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			clock := temporal.NewLogicalClock(0)
+			db, err := tdb.Open("", tdb.Options{Clock: clock, CacheBytes: tdb.DefaultCacheBytes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			sch, err := tdb.NewSchema(tdb.Attr("k", tdb.IntKind), tdb.Attr("v", tdb.StringKind))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sch, err = sch.WithKey("k"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.CreateRelation("hist", tdb.Temporal, sch); err != nil {
+				b.Fatal(err)
+			}
+			clock.Set(temporal.Date(1980, 1, 1))
+			if err := db.Update(func(tx *tdb.Tx) error {
+				h, err := tx.Rel("hist")
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 5000; i++ {
+					t := tdb.NewTuple(tdb.Int(int64(i)), tdb.String("v"))
+					if err := h.Assert(t, temporal.Date(1980, 1, 1), temporal.Forever); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			ses := NewSession(db)
+			if _, err := ses.Exec("range of h is hist"); err != nil {
+				b.Fatal(err)
+			}
+			// A later commit closes every 1980 version, settling the window
+			// below AND fixing its transaction ends, which is what lets the
+			// answer take the immutable cache path.
+			clock.Set(temporal.Date(1983, 1, 1))
+			if _, err := ses.Exec(`replace h (v = "w") where h.k >= 0 valid from "01/01/83" to forever`); err != nil {
+				b.Fatal(err)
+			}
+			ses.SetParallelism(1)
+			ses.DisableCache(mode.off)
+			const q = `retrieve (h.k) where h.k < 100 as of "01/01/82"`
+			res, err := ses.Query(q) // warm the cache outside the timer
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Len() != 100 {
+				b.Fatalf("rows = %d, want 100", res.Len())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ses.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() != 100 {
+					b.Fatalf("rows = %d, want 100", res.Len())
+				}
+			}
+		})
 	}
 }

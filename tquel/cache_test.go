@@ -1,0 +1,364 @@
+package tquel
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"tdb"
+	"tdb/temporal"
+)
+
+// cacheSession is paperSession on a database with an explicit cache
+// budget: the TDB_CACHE_BYTES=0 CI job would otherwise disable the cache
+// and turn every assertion about hits and insertions vacuous.
+func cacheSession(t testing.TB) *Session {
+	t.Helper()
+	clock := temporal.NewLogicalClock(0)
+	db, err := tdb.Open("", tdb.Options{Clock: clock, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testClocks[db] = clock
+	t.Cleanup(func() {
+		delete(testClocks, db)
+		db.Close()
+	})
+	return paperSessionOn(t, db)
+}
+
+// uncached runs the query with the session's cache bypassed and returns the
+// rendered resultset — the oracle every cached answer must match.
+func uncached(t *testing.T, ses *Session, src string) string {
+	t.Helper()
+	prev := ses.noCache
+	ses.DisableCache(true)
+	res, err := ses.Query(src)
+	ses.DisableCache(prev)
+	if err != nil {
+		t.Fatalf("uncached oracle: %v\n%s", err, src)
+	}
+	return res.String()
+}
+
+func mustQuery(t *testing.T, ses *Session, src string) *Resultset {
+	t.Helper()
+	res, err := ses.Query(src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	return res
+}
+
+// A settled as-of query is cached on first execution and served from the
+// cache on the second, byte-identical to uncached execution.
+func TestCacheHitRoundTrip(t *testing.T) {
+	ses := cacheSession(t)
+	qc := ses.db.QueryCache()
+	const q = `retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"`
+	want := uncached(t, ses, q)
+
+	before := qc.Stats()
+	first := mustQuery(t, ses, q)
+	second := mustQuery(t, ses, q)
+	after := qc.Stats()
+
+	if got := after.Inserts - before.Inserts; got < 1 {
+		t.Errorf("insertions delta = %d, want >= 1", got)
+	}
+	if got := after.Hits - before.Hits; got < 1 {
+		t.Errorf("hits delta = %d, want >= 1", got)
+	}
+	if first.String() != want {
+		t.Errorf("cold answer differs from uncached:\n%s\nvs\n%s", first, want)
+	}
+	if second.String() != want {
+		t.Errorf("warm answer differs from uncached:\n%s\nvs\n%s", second, want)
+	}
+}
+
+// A write to a participating relation retires the cached current-state
+// entry: the re-run sees the new data, identical to uncached execution.
+func TestCacheInvalidatedByInterleavedWrite(t *testing.T) {
+	ses := cacheSession(t)
+	const q = `retrieve (f.rank) where f.name = "Merrie"`
+	warmups := mustQuery(t, ses, q) // populate
+	_ = mustQuery(t, ses, q)        // and hit once, so the entry is MRU
+	if !strings.Contains(warmups.String(), "full") {
+		t.Fatalf("fixture: Merrie should currently be full:\n%s", warmups)
+	}
+
+	execAt(t, ses, temporal.MustParse("03/01/84"),
+		`replace f (rank = "emeritus") where f.name = "Merrie" valid from "03/01/84" to forever`)
+
+	got := mustQuery(t, ses, q).String()
+	want := uncached(t, ses, q)
+	if got != want {
+		t.Errorf("post-write cached answer differs from uncached:\n%s\nvs\n%s", got, want)
+	}
+	if !strings.Contains(got, "emeritus") {
+		t.Errorf("post-write answer is stale:\n%s", got)
+	}
+}
+
+// A settled as-of answer is immutable: later writes must not retire it (the
+// re-run is still a hit) and must not change it (transaction time is
+// append-only, so the belief as of a past instant is fixed).
+func TestCacheImmutableAsOfSurvivesWrite(t *testing.T) {
+	ses := cacheSession(t)
+	qc := ses.db.QueryCache()
+	const q = `retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"`
+	want := mustQuery(t, ses, q).String()
+
+	execAt(t, ses, temporal.MustParse("03/01/84"),
+		`replace f (rank = "emeritus") where f.name = "Merrie" valid from "03/01/84" to forever`)
+
+	before := qc.Stats()
+	got := mustQuery(t, ses, q).String()
+	after := qc.Stats()
+	if got != want {
+		t.Errorf("immutable as-of answer changed after a write:\n%s\nvs\n%s", got, want)
+	}
+	if got != uncached(t, ses, q) {
+		t.Errorf("immutable as-of answer differs from uncached re-execution")
+	}
+	if after.Hits-before.Hits < 1 {
+		t.Errorf("write retired an immutable entry: hits delta = %d", after.Hits-before.Hits)
+	}
+}
+
+// Callers own the resultset they get back. Scribbling on a returned row —
+// whether it came from execution or from the cache — must not poison the
+// answer handed to the next caller.
+func TestCacheReturnedResultsAreIsolated(t *testing.T) {
+	ses := cacheSession(t)
+	const q = `retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"`
+	want := uncached(t, ses, q)
+
+	// Mutate the miss-path result (aliasing the stored entry would show the
+	// corruption on the next hit) …
+	cold := mustQuery(t, ses, q)
+	cold.Attrs[0] = "corrupted"
+	cold.Rows[0].Data[0] = tdb.String("corrupted")
+
+	// … and the hit-path result (aliasing the resident entry would show it
+	// on the hit after that).
+	warm := mustQuery(t, ses, q)
+	if warm.String() != want {
+		t.Fatalf("mutating a returned resultset poisoned the cache:\n%s\nvs\n%s", warm, want)
+	}
+	warm.Attrs[0] = "corrupted"
+	warm.Rows[0].Data[0] = tdb.String("corrupted")
+
+	if got := mustQuery(t, ses, q).String(); got != want {
+		t.Errorf("mutating a cache-hit resultset poisoned the cache:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// Dropping and recreating a relation under the same name must not serve the
+// old relation's rows, even when the new relation's write-version counter
+// happens to coincide with the old one's (the catalog generation in the key
+// is what keeps them apart).
+func TestCacheDropRecreateNotServedStale(t *testing.T) {
+	ses := cacheSession(t)
+	if _, err := ses.Exec(`
+		create static relation tmp (x = int) key (x)
+		range of v is tmp
+		append to tmp (x = 1)
+	`); err != nil {
+		t.Fatal(err)
+	}
+	const q = `retrieve (v.x)`
+	if got := mustQuery(t, ses, q).String(); !strings.Contains(got, "1") {
+		t.Fatalf("fixture: %s", got)
+	}
+	if _, err := ses.Exec(`
+		destroy tmp
+		create static relation tmp (x = int) key (x)
+		range of v is tmp
+		append to tmp (x = 2)
+	`); err != nil {
+		t.Fatal(err)
+	}
+	got := mustQuery(t, ses, q).String()
+	if got != uncached(t, ses, q) {
+		t.Errorf("post-recreate cached answer differs from uncached")
+	}
+	if strings.Contains(got, "1") || !strings.Contains(got, "2") {
+		t.Errorf("recreated relation served stale rows:\n%s", got)
+	}
+}
+
+// Queries whose temporal clauses mention "now" track the session clock, so
+// they must bypass the cache entirely: no entry stored, no lookup served.
+func TestCacheSkipsNowQueries(t *testing.T) {
+	ses := cacheSession(t)
+	qc := ses.db.QueryCache()
+	const q = `retrieve (f.rank) where f.name = "Merrie" when f overlap "now"`
+	before := qc.Stats()
+	first := mustQuery(t, ses, q).String()
+	second := mustQuery(t, ses, q).String()
+	after := qc.Stats()
+	if first != second {
+		t.Errorf("now-query answers differ between consecutive runs:\n%s\nvs\n%s", first, second)
+	}
+	if d := after.Inserts - before.Inserts; d != 0 {
+		t.Errorf("now-dependent query was cached: insertions delta = %d", d)
+	}
+	if d := after.Hits - before.Hits; d != 0 {
+		t.Errorf("now-dependent query hit the cache: hits delta = %d", d)
+	}
+}
+
+// retrieve-into creates a relation as a side effect; running it from the
+// cache would skip the side effect, so it must never be stored.
+func TestCacheSkipsRetrieveInto(t *testing.T) {
+	ses := cacheSession(t)
+	qc := ses.db.QueryCache()
+	before := qc.Stats()
+	if _, err := ses.Exec(`retrieve into snapshot (f.name)`); err != nil {
+		t.Fatal(err)
+	}
+	after := qc.Stats()
+	if d := after.Inserts - before.Inserts; d != 0 {
+		t.Errorf("retrieve into was cached: insertions delta = %d", d)
+	}
+	if d := after.Hits + after.Misses - before.Hits - before.Misses; d != 0 {
+		t.Errorf("retrieve into consulted the cache: lookup delta = %d", d)
+	}
+}
+
+// DisableCache is a full bypass: no lookups, no insertions.
+func TestDisableCacheBypasses(t *testing.T) {
+	ses := cacheSession(t)
+	qc := ses.db.QueryCache()
+	ses.DisableCache(true)
+	const q = `retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"`
+	before := qc.Stats()
+	first := mustQuery(t, ses, q).String()
+	second := mustQuery(t, ses, q).String()
+	after := qc.Stats()
+	if first != second {
+		t.Errorf("bypassed answers differ:\n%s\nvs\n%s", first, second)
+	}
+	if after.Inserts != before.Inserts || after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Errorf("DisableCache still touched the cache: %+v -> %+v", before, after)
+	}
+}
+
+// Checkpoint under live reader sessions: four goroutines issue cached
+// queries (a settled as-of whose answer may never change, and the current
+// state, which may) while the main goroutine interleaves writes with
+// checkpoints. Run under -race this exercises the cache, the write-version
+// counters, and the snapshot path concurrently; afterwards the reopened
+// database must carry the same write-version vector the live one ended
+// with.
+func TestCheckpointUnderConcurrentReaderSessions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	clock := temporal.NewLogicalClock(0)
+	db, err := tdb.Open(path, tdb.Options{Clock: clock, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testClocks[db] = clock
+	defer delete(testClocks, db)
+
+	setup := NewSession(db)
+	if _, err := setup.Exec(`
+		create temporal relation faculty (name = string, rank = string) key (name)
+		range of f is faculty
+	`); err != nil {
+		t.Fatal(err)
+	}
+	execAt(t, setup, temporal.MustParse("01/01/80"),
+		`append to faculty (name = "Merrie", rank = "associate") valid from "01/01/80" to forever`)
+	// Close the version visible as of 06/01/80: only a transaction-closed
+	// answer is immutable (an open trans end would be closed retroactively
+	// by the interleaved writes below and legitimately re-render).
+	execAt(t, setup, temporal.MustParse("06/15/80"),
+		`replace f (rank = "lecturer") where f.name = "Merrie" valid from "06/15/80" to forever`)
+
+	const settled = `retrieve (f.rank) where f.name = "Merrie" as of "06/01/80"`
+	const current = `retrieve (f.rank) where f.name = "Merrie"`
+	settledWant := uncached(t, setup, settled)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ses := NewSession(db)
+			if _, err := ses.Exec(`range of f is faculty`); err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := ses.Query(settled)
+				if err != nil {
+					t.Errorf("settled query: %v", err)
+					return
+				}
+				if got := res.String(); got != settledWant {
+					t.Errorf("settled as-of answer drifted:\n%s\nvs\n%s", got, settledWant)
+					return
+				}
+				if _, err := ses.Query(current); err != nil {
+					t.Errorf("current query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	ranks := []string{"assistant", "associate", "full", "emeritus", "adjunct"}
+	for i, rank := range ranks {
+		execAt(t, setup, temporal.Date(1981+i, 1, 1),
+			`replace f (rank = "`+rank+`") where f.name = "Merrie" valid from "01/01/8`+
+				string(rune('1'+i))+`" to forever`)
+		if err := db.Checkpoint(); err != nil {
+			t.Errorf("checkpoint %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	rel, err := db.Relation("faculty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVer := rel.WriteVersion()
+	if wantVer == 0 {
+		t.Fatal("faculty write version still 0 after writes")
+	}
+	finalWant := uncached(t, setup, current)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := tdb.Open(path, tdb.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rel2, err := db2.Relation("faculty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel2.WriteVersion(); got != wantVer {
+		t.Errorf("write version after checkpoint+reopen = %d, want %d", got, wantVer)
+	}
+	ses2 := NewSession(db2)
+	if _, err := ses2.Exec(`range of f is faculty`); err != nil {
+		t.Fatal(err)
+	}
+	if got := uncached(t, ses2, current); got != finalWant {
+		t.Errorf("state after reopen differs:\n%s\nvs\n%s", got, finalWant)
+	}
+}

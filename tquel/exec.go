@@ -21,6 +21,7 @@ type Session struct {
 	now         func() temporal.Chronon
 	tracer      obs.Tracer // nil unless SetTracer installed one
 	noPlanner   bool
+	noCache     bool       // session-level query cache bypass (DisableCache)
 	parallelism int        // worker budget; 0 = GOMAXPROCS, <=1 = serial
 	lastPlan    *queryPlan // most recent compiled retrieve, for tests
 }
@@ -126,7 +127,7 @@ func (s *Session) exec(st Stmt) (*Outcome, error) {
 		s.ranges[n.Var] = n.Rel
 		return &Outcome{Stmt: "range", Msg: fmt.Sprintf("range of %s is %s", n.Var, n.Rel)}, nil
 	case *RetrieveStmt:
-		return s.execRetrieve(n)
+		return s.execRetrieveCached(n)
 	case *AppendStmt:
 		return s.execAppend(n)
 	case *DeleteStmt:

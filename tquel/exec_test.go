@@ -46,7 +46,14 @@ func newPastDB(t testing.TB) *tdb.DB {
 // DML executed at the paper's dated commit instants.
 func paperSession(t testing.TB) *Session {
 	t.Helper()
-	db := newPastDB(t)
+	return paperSessionOn(t, newPastDB(t))
+}
+
+// paperSessionOn loads the same history into a caller-opened database
+// (cache tests open theirs with an explicit byte budget so they stay
+// deterministic under the TDB_CACHE_BYTES=0 CI job).
+func paperSessionOn(t testing.TB, db *tdb.DB) *Session {
+	t.Helper()
 	ses := NewSession(db)
 	if _, err := ses.Exec(`
 		create temporal relation faculty (name = string, rank = string) key (name)

@@ -1,0 +1,175 @@
+package tquel
+
+import (
+	"strconv"
+	"strings"
+)
+
+// formatRetrieve renders a retrieve statement into a canonical string for
+// use as part of a query-cache key: two parses producing structurally equal
+// ASTs render identically regardless of the whitespace, clause order the
+// grammar fixes anyway, or commentary in the original source. The rendering
+// is unambiguous (literals are kind-tagged and quoted, every operator
+// application is parenthesized) so distinct queries cannot collide; it is
+// not meant to be re-parseable.
+func formatRetrieve(n *RetrieveStmt) string {
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString("retrieve")
+	if n.Into != "" {
+		b.WriteString(" into ")
+		b.WriteString(n.Into)
+	}
+	b.WriteString(" (")
+	for i, t := range n.Targets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if t.Name != "" {
+			b.WriteString(t.Name)
+			b.WriteByte('=')
+		}
+		formatExpr(&b, t.Expr)
+	}
+	b.WriteByte(')')
+	if n.Valid != nil {
+		if n.Valid.At != nil {
+			b.WriteString(" valid at ")
+			formatTemporal(&b, n.Valid.At)
+		} else {
+			b.WriteString(" valid from ")
+			formatTemporal(&b, n.Valid.From)
+			b.WriteString(" to ")
+			formatTemporal(&b, n.Valid.To)
+		}
+	}
+	if n.Where != nil {
+		b.WriteString(" where ")
+		formatExpr(&b, n.Where)
+	}
+	if n.When != nil {
+		b.WriteString(" when ")
+		formatTemporal(&b, n.When)
+	}
+	if n.AsOf != nil {
+		b.WriteString(" as of ")
+		formatTemporal(&b, n.AsOf.At)
+		if n.AsOf.Through != nil {
+			b.WriteString(" through ")
+			formatTemporal(&b, n.AsOf.Through)
+		}
+	}
+	return b.String()
+}
+
+func formatExpr(b *strings.Builder, e Expr) {
+	switch n := e.(type) {
+	case *AttrRef:
+		b.WriteString(n.Var)
+		b.WriteByte('.')
+		b.WriteString(n.Attr)
+	case *Lit:
+		// Kind-tag plus quoted original spelling: "10" the string and 10
+		// the int render differently, and no literal can fake an operator.
+		b.WriteString(n.Value.Kind().String())
+		b.WriteString(strconv.Quote(n.Text))
+	case *Cmp:
+		b.WriteByte('(')
+		formatExpr(b, n.L)
+		b.WriteString(n.Op)
+		formatExpr(b, n.R)
+		b.WriteByte(')')
+	case *Agg:
+		b.WriteString(n.Fn)
+		b.WriteByte('(')
+		formatExpr(b, n.Arg)
+		b.WriteByte(')')
+	case *BoolOp:
+		b.WriteByte('(')
+		b.WriteString(n.Op)
+		b.WriteByte(' ')
+		formatExpr(b, n.L)
+		if n.R != nil {
+			b.WriteByte(' ')
+			formatExpr(b, n.R)
+		}
+		b.WriteByte(')')
+	default:
+		// Unknown node kinds must not silently collide with anything.
+		b.WriteString("?expr?")
+	}
+}
+
+func formatTemporal(b *strings.Builder, e TemporalExpr) {
+	switch n := e.(type) {
+	case *VarInterval:
+		b.WriteByte('$')
+		b.WriteString(n.Var)
+	case *TimeLit:
+		b.WriteString("time")
+		b.WriteString(strconv.Quote(n.Text))
+	case *StartOf:
+		b.WriteString("start(")
+		formatTemporal(b, n.Of)
+		b.WriteByte(')')
+	case *EndOf:
+		b.WriteString("end(")
+		formatTemporal(b, n.Of)
+		b.WriteByte(')')
+	case *Extend:
+		b.WriteString("(extend ")
+		formatTemporal(b, n.L)
+		b.WriteByte(' ')
+		formatTemporal(b, n.R)
+		b.WriteByte(')')
+	case *TempRel:
+		b.WriteByte('(')
+		b.WriteString(n.Op)
+		b.WriteByte(' ')
+		formatTemporal(b, n.L)
+		b.WriteByte(' ')
+		formatTemporal(b, n.R)
+		b.WriteByte(')')
+	case *TempBool:
+		b.WriteByte('(')
+		b.WriteString(n.Op)
+		b.WriteByte(' ')
+		formatTemporal(b, n.L)
+		if n.R != nil {
+			b.WriteByte(' ')
+			formatTemporal(b, n.R)
+		}
+		b.WriteByte(')')
+	default:
+		b.WriteString("?temporal?")
+	}
+}
+
+// mentionsNow reports whether a temporal expression references the "now"
+// spelling anywhere. Scalar (where-clause) expressions cannot smuggle a
+// clock reference: string literals only become chronons via temporal.Parse,
+// which rejects "now". So this walk over the when/valid/as-of clauses is a
+// complete clock-dependence test for a retrieve.
+func mentionsNow(e TemporalExpr) bool {
+	switch n := e.(type) {
+	case *TimeLit:
+		return n.Text == "now"
+	case *StartOf:
+		return mentionsNow(n.Of)
+	case *EndOf:
+		return mentionsNow(n.Of)
+	case *Extend:
+		return mentionsNow(n.L) || mentionsNow(n.R)
+	case *TempRel:
+		return mentionsNow(n.L) || mentionsNow(n.R)
+	case *TempBool:
+		return mentionsNow(n.L) || (n.R != nil && mentionsNow(n.R))
+	case *VarInterval:
+		return false
+	case nil:
+		return false
+	default:
+		// Be conservative with nodes this walk doesn't know.
+		return true
+	}
+}

@@ -208,6 +208,9 @@ func TestParallelEnv(t *testing.T) {
 func TestParallelTallyMatchesSerial(t *testing.T) {
 	forceParallel(t)
 	ses := plannerOn(planFixture(t))
+	// The two runs issue the identical query; bypass the result cache so
+	// the second run actually executes and records tallies.
+	ses.DisableCache(true)
 	const src = `retrieve (s.tag, b.tag) where s.k = b.k`
 
 	run := func(workers int) map[string]int64 {

@@ -325,11 +325,16 @@ func forceParallel(t testing.TB) {
 	t.Cleanup(func() { parallelMinOuter = old })
 }
 
-// differential runs the query three ways — planner on (serial), planner
-// off (naive nested loop), and planner on with a four-worker pool — and
-// asserts all rendered resultsets are byte-identical.
+// differential runs the query five ways — planner on (serial), planner
+// off (naive nested loop), planner on with a four-worker pool, and then
+// twice through the result cache (cold, then warm so the second run is a
+// hit when the cache is enabled) — and asserts all rendered resultsets are
+// byte-identical. The first three arms bypass the cache so each one
+// actually executes; under TDB_CACHE_BYTES=0 the cache arms are
+// passthrough and still must agree.
 func differential(t *testing.T, ses *Session, src string) {
 	t.Helper()
+	ses.DisableCache(true)
 	ses.DisablePlanner(false)
 	ses.SetParallelism(1)
 	on, err := ses.Query(src)
@@ -348,6 +353,15 @@ func differential(t *testing.T, ses *Session, src string) {
 	if err != nil {
 		t.Fatalf("parallel: %v\n%s", err, src)
 	}
+	ses.DisableCache(false)
+	cold, err := ses.Query(src)
+	if err != nil {
+		t.Fatalf("cache cold: %v\n%s", err, src)
+	}
+	warm, err := ses.Query(src)
+	if err != nil {
+		t.Fatalf("cache warm: %v\n%s", err, src)
+	}
 	if on.String() != off.String() {
 		t.Errorf("planner changed the answer for:\n%s\n--- planner on ---\n%s\n--- planner off ---\n%s",
 			src, on, off)
@@ -355,6 +369,14 @@ func differential(t *testing.T, ses *Session, src string) {
 	if on.String() != par.String() {
 		t.Errorf("parallel execution changed the answer for:\n%s\n--- serial ---\n%s\n--- parallel ---\n%s",
 			src, on, par)
+	}
+	if on.String() != cold.String() {
+		t.Errorf("cache (cold) changed the answer for:\n%s\n--- uncached ---\n%s\n--- cache cold ---\n%s",
+			src, on, cold)
+	}
+	if on.String() != warm.String() {
+		t.Errorf("cache (warm) changed the answer for:\n%s\n--- uncached ---\n%s\n--- cache warm ---\n%s",
+			src, on, warm)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"tdb"
 	"tdb/internal/pretty"
+	"tdb/internal/value"
 	"tdb/temporal"
 )
 
@@ -53,6 +54,63 @@ type Resultset struct {
 
 // Len returns the number of rows.
 func (r *Resultset) Len() int { return len(r.Rows) }
+
+// Clone returns a deep copy: the attribute list, every row, and every
+// row's tuple are freshly allocated, so mutating the copy (or the
+// original) cannot be observed through the other. The query cache stores a
+// clone and hands out clones, which is what lets callers scribble on a
+// returned resultset without poisoning later answers (values themselves
+// are immutable value types, so copying the tuple slice suffices).
+func (r *Resultset) Clone() *Resultset {
+	if r == nil {
+		return nil
+	}
+	out := &Resultset{
+		Attrs:    append([]string(nil), r.Attrs...),
+		HasValid: r.HasValid,
+		HasTrans: r.HasTrans,
+		Event:    r.Event,
+	}
+	if r.Rows != nil {
+		out.Rows = make([]ResultRow, len(r.Rows))
+		for i, row := range r.Rows {
+			out.Rows[i] = ResultRow{
+				Data:  append(tdb.Tuple(nil), row.Data...),
+				Valid: row.Valid,
+				Trans: row.Trans,
+				key:   row.key,
+			}
+		}
+	}
+	return out
+}
+
+// approxBytes estimates the resultset's resident size for cache byte
+// accounting: struct overheads plus string payloads. It intentionally
+// overcounts a little rather than under; the cache's budget is a bound,
+// not a measurement.
+func (r *Resultset) approxBytes() int64 {
+	const (
+		rowOverhead  = 96 // ResultRow struct: slice+2 intervals+string header
+		valOverhead  = 40 // value struct: kind + int64 + float64 + string header
+		attrOverhead = 16 // string header
+	)
+	n := int64(64) // Resultset struct itself
+	for _, a := range r.Attrs {
+		n += attrOverhead + int64(len(a))
+	}
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		n += rowOverhead + int64(len(row.key))
+		for _, v := range row.Data {
+			n += valOverhead
+			if v.Kind() == value.String {
+				n += int64(len(v.Str()))
+			}
+		}
+	}
+	return n
+}
 
 // String renders the resultset in the paper's figure style.
 func (r *Resultset) String() string {

@@ -45,6 +45,13 @@ type TxRel struct {
 // Name returns the relation name.
 func (r *TxRel) Name() string { return r.rel.Name() }
 
+// bump records a successful mutation in the relation's write-version
+// counter, the query cache's invalidation signal. Called on WAL replay too
+// (replay re-enters these methods), so recovered databases resume counting
+// where the log left off. A later abort leaves the bump in place, which
+// only over-invalidates — the cache must never under-invalidate.
+func (r *TxRel) bump() { r.rel.Store().BumpWriteVersion() }
+
 // Kind returns the relation kind.
 func (r *TxRel) Kind() Kind { return r.rel.Kind() }
 
@@ -66,6 +73,7 @@ func (r *TxRel) Insert(t Tuple) error {
 	default:
 		return ErrKindMismatch
 	}
+	r.bump()
 	r.tx.logOp(wal.Op{Code: wal.OpInsert, Rel: r.Name(), Tuple: t})
 	return nil
 }
@@ -88,6 +96,7 @@ func (r *TxRel) Delete(key Tuple) error {
 	default:
 		return ErrKindMismatch
 	}
+	r.bump()
 	r.tx.logOp(wal.Op{Code: wal.OpDelete, Rel: r.Name(), Key: key})
 	return nil
 }
@@ -110,6 +119,7 @@ func (r *TxRel) Replace(key, t Tuple) error {
 	default:
 		return ErrKindMismatch
 	}
+	r.bump()
 	r.tx.logOp(wal.Op{Code: wal.OpReplace, Rel: r.Name(), Key: key, Tuple: t})
 	return nil
 }
@@ -137,6 +147,7 @@ func (r *TxRel) Assert(t Tuple, from, to temporal.Chronon) error {
 	default:
 		return ErrKindMismatch
 	}
+	r.bump()
 	r.tx.logOp(wal.Op{Code: wal.OpAssert, Rel: r.Name(), Tuple: t, Valid: valid})
 	return nil
 }
@@ -162,6 +173,7 @@ func (r *TxRel) Retract(key Tuple, from, to temporal.Chronon) error {
 	default:
 		return ErrKindMismatch
 	}
+	r.bump()
 	r.tx.logOp(wal.Op{Code: wal.OpRetract, Rel: r.Name(), Key: key, Valid: valid})
 	return nil
 }
@@ -184,6 +196,7 @@ func (r *TxRel) AssertAt(t Tuple, at temporal.Chronon) error {
 	default:
 		return ErrKindMismatch
 	}
+	r.bump()
 	r.tx.logOp(wal.Op{Code: wal.OpAssertAt, Rel: r.Name(), Tuple: t, At: at})
 	return nil
 }
@@ -207,6 +220,7 @@ func (r *TxRel) RetractAt(key Tuple, at temporal.Chronon) error {
 	default:
 		return ErrKindMismatch
 	}
+	r.bump()
 	r.tx.logOp(wal.Op{Code: wal.OpRetractAt, Rel: r.Name(), Key: key, At: at})
 	return nil
 }
