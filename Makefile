@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nocache figures-check bench bench-smoke bench-json bench-compare
+.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nocache test-faults race-recovery figures-check bench bench-smoke bench-json bench-compare
 
-check: fmt vet build race race-parallel race-cache test-noplanner test-nocache figures-check
+check: fmt vet build race race-parallel race-cache test-noplanner test-nocache test-faults figures-check
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -48,6 +48,24 @@ test-noplanner:
 test-nocache:
 	TDB_CACHE_BYTES=0 $(GO) test ./...
 
+# The durability suite: fault injection (vfs), torn-log replay (wal), the
+# crash matrices (truncate/corrupt every byte of the final record; crash a
+# checkpoint at every mutating filesystem operation), snapshot fallback,
+# and the query-layer differential after recovery. Exhaustive — no
+# TDB_CRASH_SAMPLE stride.
+test-faults:
+	$(GO) test -count=1 \
+		-run 'Fault|Crash|Torn|Recovery|Corrupt|Snapshot|Short|Sync' \
+		./internal/vfs ./internal/wal . ./tquel
+
+# The durability suite under the race detector. The crash matrices walk
+# every 7th fault point (TDB_CRASH_SAMPLE) so the -race run stays fast;
+# test-faults covers the exhaustive walk.
+race-recovery:
+	TDB_CRASH_SAMPLE=7 $(GO) test -race -count=1 \
+		-run 'Fault|Crash|Torn|Recovery|Corrupt|Snapshot|Short|Sync' \
+		./internal/vfs ./internal/wal . ./tquel
+
 # The committed paper figures must match what the code generates.
 figures-check:
 	@$(GO) run ./cmd/figures > /tmp/tdb_figures_gen.txt && \
@@ -70,7 +88,7 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -benchmem \
 		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel|BenchmarkAsOfCached' \
-		./tquel | $(GO) run ./cmd/benchjson > BENCH_PR4.json
+		./tquel | $(GO) run ./cmd/benchjson > BENCH_PR5.json
 
 # Guard against the committed baseline: exits non-zero when a shared
 # benchmark got more than 1.25x slower (CI runs this warn-only; see ci.yml).

@@ -191,8 +191,8 @@ func TestCheckpointCrashBeforeTruncate(t *testing.T) {
 	before := stateDigest(t, db)
 
 	// Simulate the crash by writing the snapshot exactly as Checkpoint
-	// does, then *not* truncating.
-	snap := wal.Snapshot{LastCommit: db.mgr.Clock().Last(), Records: db.walRecords}
+	// does (next epoch, covering the whole log), then *not* truncating.
+	snap := wal.Snapshot{LastCommit: db.mgr.Clock().Last(), Epoch: db.epoch + 1, Records: db.walRecords}
 	for _, name := range db.cat.Names() {
 		rel, _ := db.cat.Get(name)
 		rs := wal.RelationSnapshot{Name: name, Kind: rel.Kind(), Event: rel.Event(), Schema: rel.Schema()}
@@ -202,7 +202,7 @@ func TestCheckpointCrashBeforeTruncate(t *testing.T) {
 		})
 		snap.Relations = append(snap.Relations, rs)
 	}
-	if err := wal.WriteSnapshot(path+".snap", snap); err != nil {
+	if err := wal.WriteSnapshot(nil, path+".snap", snap); err != nil {
 		t.Fatal(err)
 	}
 	db.Close()
@@ -237,7 +237,7 @@ func TestCheckpointCrashAfterTruncate(t *testing.T) {
 	before := stateDigest(t, db)
 	records := db.walRecords
 
-	snap := wal.Snapshot{LastCommit: db.mgr.Clock().Last(), Records: records}
+	snap := wal.Snapshot{LastCommit: db.mgr.Clock().Last(), Epoch: db.epoch + 1, Records: records}
 	for _, name := range db.cat.Names() {
 		rel, _ := db.cat.Get(name)
 		rs := wal.RelationSnapshot{Name: name, Kind: rel.Kind(), Event: rel.Event(), Schema: rel.Schema()}
@@ -247,7 +247,7 @@ func TestCheckpointCrashAfterTruncate(t *testing.T) {
 		})
 		snap.Relations = append(snap.Relations, rs)
 	}
-	if err := wal.WriteSnapshot(path+".snap", snap); err != nil {
+	if err := wal.WriteSnapshot(nil, path+".snap", snap); err != nil {
 		t.Fatal(err)
 	}
 	db.Close()
@@ -298,8 +298,15 @@ func TestCorruptSnapshotSurfaces(t *testing.T) {
 	if err := os.WriteFile(path+".snap", data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path, Options{}); !errors.Is(err, wal.ErrSnapshotCorrupt) {
-		t.Fatalf("corrupt snapshot: %v", err)
+	// The log is empty after the checkpoint, so nothing can prove which era
+	// the fallback belongs to: the open must fail rather than guess, and the
+	// error must match both the exported sentinel and the internal cause.
+	_, err = Open(path, Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: want ErrCorrupt, got %v", err)
+	}
+	if !errors.Is(err, wal.ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt snapshot: cause lost from chain: %v", err)
 	}
 }
 

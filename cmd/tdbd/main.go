@@ -30,12 +30,16 @@ import (
 
 // config collects the flag values so run can be exercised from tests.
 type config struct {
-	addr   string
-	admin  string
-	dbPath string
-	sync   bool
-	slow   time.Duration
-	trace  bool
+	addr     string
+	admin    string
+	dbPath   string
+	sync     bool
+	slow     time.Duration
+	trace    bool
+	maxConns int
+	readTO   time.Duration
+	writeTO  time.Duration
+	drainTO  time.Duration
 }
 
 func main() {
@@ -46,6 +50,10 @@ func main() {
 	flag.BoolVar(&cfg.sync, "sync", false, "fsync the log after every transaction")
 	flag.DurationVar(&cfg.slow, "slow", 250*time.Millisecond, "log queries at least this slow (0 disables)")
 	flag.BoolVar(&cfg.trace, "trace", false, "record per-phase query spans in the metrics registry")
+	flag.IntVar(&cfg.maxConns, "max-conns", 0, "cap on concurrent connections; extra clients get a busy response (0 = unlimited)")
+	flag.DurationVar(&cfg.readTO, "read-timeout", 0, "disconnect connections idle this long (0 disables)")
+	flag.DurationVar(&cfg.writeTO, "write-timeout", 30*time.Second, "bound on writing one response (0 disables)")
+	flag.DurationVar(&cfg.drainTO, "drain", server.DefaultDrainTimeout, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 	logger := log.New(os.Stderr, "tdbd: ", log.LstdFlags)
 
@@ -77,6 +85,10 @@ func run(cfg config, logger *log.Logger, sigs <-chan os.Signal, started func(ser
 
 	srv := server.New(db, logger)
 	srv.SlowQueryThreshold = cfg.slow
+	srv.MaxConns = cfg.maxConns
+	srv.ReadTimeout = cfg.readTO
+	srv.WriteTimeout = cfg.writeTO
+	srv.DrainTimeout = cfg.drainTO
 	if cfg.trace {
 		srv.QueryTracer = obs.NewRegistryTracer(obs.Default, "tdb_query")
 	}
@@ -104,6 +116,8 @@ func run(cfg config, logger *log.Logger, sigs <-chan os.Signal, started func(ser
 					"current_versions": st.CurrentVersions,
 					"wal_records":      st.WALRecords,
 					"last_commit":      int64(st.LastCommit),
+					"epoch":            st.Epoch,
+					"recovery":         st.Recovery,
 					"cache":            db.QueryCache().Stats(),
 				}
 			},

@@ -8,36 +8,11 @@ import (
 	"sync"
 
 	"tdb/internal/catalog"
-	"tdb/internal/core"
 	"tdb/internal/qcache"
 	"tdb/internal/txn"
+	"tdb/internal/vfs"
 	"tdb/internal/wal"
 	"tdb/temporal"
-)
-
-// Errors surfaced by the facade (store-level errors pass through: see
-// ErrDuplicateKey and friends).
-var (
-	// ErrClosed reports use of a closed database.
-	ErrClosed = errors.New("tdb: database closed")
-	// ErrNotFound reports a reference to an unknown relation.
-	ErrNotFound = catalog.ErrNotFound
-	// ErrExists reports creating a relation whose name is taken.
-	ErrExists = catalog.ErrExists
-	// ErrKindMismatch reports using a relation through operations its kind
-	// does not support — the taxonomy's boundaries, enforced.
-	ErrKindMismatch = catalog.ErrKindMismatch
-	// ErrDuplicateKey re-exports the store-level duplicate key error.
-	ErrDuplicateKey = core.ErrDuplicateKey
-	// ErrNoSuchTuple re-exports the store-level missing tuple error.
-	ErrNoSuchTuple = core.ErrNoSuchTuple
-	// ErrEmptyValidPeriod re-exports the store-level empty period error.
-	ErrEmptyValidPeriod = core.ErrEmptyValidPeriod
-	// ErrNoRollback reports an as-of query on a kind without transaction
-	// time.
-	ErrNoRollback = errors.New("tdb: relation kind does not support rollback (as of)")
-	// ErrNoValidTime reports a valid-time query on a kind without it.
-	ErrNoValidTime = errors.New("tdb: relation kind does not support historical queries")
 )
 
 // DefaultCacheBytes is the query cache budget when neither Options nor the
@@ -56,6 +31,10 @@ type Options struct {
 	// and then to DefaultCacheBytes; a negative value (or TDB_CACHE_BYTES=0)
 	// disables the cache entirely — the ablation switch.
 	CacheBytes int64
+	// FS routes all durable I/O (log, snapshots) through an alternate
+	// filesystem — the seam fault-injection tests use. Nil means the
+	// operating system.
+	FS vfs.FS
 }
 
 // resolveCacheBytes applies the CacheBytes precedence documented on Options.
@@ -74,37 +53,72 @@ func resolveCacheBytes(opt int64) int64 {
 // DB is a temporal database: a catalog of relations plus the transaction
 // and durability machinery. All methods are safe for concurrent use.
 type DB struct {
-	mu         sync.RWMutex
-	cat        *catalog.Catalog
-	mgr        *txn.Manager
-	log        *wal.Log
-	path       string
-	snapPath   string
-	walRecords int // records in the current log file
-	closed     bool
-	replay     bool // suppress WAL writes during recovery
-	qc         *qcache.Cache
+	mu           sync.RWMutex
+	cat          *catalog.Catalog
+	mgr          *txn.Manager
+	log          *wal.Log
+	fs           vfs.FS
+	path         string
+	snapPath     string
+	prevSnapPath string
+	walRecords   int    // records in the current log file
+	epoch        uint64 // checkpoint era of the current log file
+	closed       bool
+	replay       bool // suppress WAL writes during recovery
+	recovery     RecoveryInfo
+	qc           *qcache.Cache
+}
+
+// RecoveryInfo reports what Open's recovery pass found and repaired; it is
+// retained in Stats so operators can see after the fact how a database came
+// back up.
+type RecoveryInfo struct {
+	// SnapshotLoaded reports that a checkpoint snapshot was restored.
+	SnapshotLoaded bool
+	// UsedFallback reports that the previous snapshot (path + ".snap.prev")
+	// stood in for a corrupt or missing primary.
+	UsedFallback bool
+	// TornTail reports that a torn or corrupt log tail was truncated away.
+	TornTail bool
+	// LogRecords is the number of complete records found in the log.
+	LogRecords int
+	// Replayed is the number of log records applied on top of the snapshot
+	// (LogRecords minus the snapshot-covered prefix).
+	Replayed int
+	// Epoch is the checkpoint era the database recovered into.
+	Epoch uint64
 }
 
 // Open creates or reopens a database. An empty path yields a purely
 // in-memory database; otherwise path names a write-ahead log file.
-// Recovery loads the checkpoint snapshot (path + ".snap") if one exists,
-// then replays the log's uncovered suffix, repairing torn tails.
+// Recovery loads the checkpoint snapshot (path + ".snap") if one exists —
+// falling back to the previous snapshot (path + ".snap.prev") when the
+// primary is corrupt and the log's epoch proves the fallback consistent —
+// then replays the log's uncovered suffix, repairing torn tails. When the
+// durable state cannot be proven consistent, Open fails with ErrCorrupt
+// rather than loading a silently divergent database.
 func Open(path string, opts Options) (*DB, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = vfs.Default()
+	}
 	db := &DB{
-		cat:      catalog.New(),
-		mgr:      txn.NewManager(txn.NewCommitClock(opts.Clock)),
-		path:     path,
-		snapPath: path + ".snap",
-		qc:       qcache.New(resolveCacheBytes(opts.CacheBytes)),
+		cat:          catalog.New(),
+		mgr:          txn.NewManager(txn.NewCommitClock(opts.Clock)),
+		fs:           fs,
+		path:         path,
+		snapPath:     path + ".snap",
+		prevSnapPath: path + ".snap.prev",
+		qc:           qcache.New(resolveCacheBytes(opts.CacheBytes)),
 	}
 	if path == "" {
 		return db, nil
 	}
 	if err := db.recover(); err != nil {
+		mRecoveryFailed.Inc()
 		return nil, fmt.Errorf("tdb: recovery: %w", err)
 	}
-	log, err := wal.Open(path, wal.Options{Sync: opts.Sync})
+	log, err := wal.Open(fs, path, wal.Options{Sync: opts.Sync, Epoch: db.epoch})
 	if err != nil {
 		return nil, err
 	}
@@ -112,39 +126,117 @@ func Open(path string, opts Options) (*DB, error) {
 	return db, nil
 }
 
-// recover rebuilds the in-memory state: checkpoint snapshot first, then the
-// log records the snapshot does not cover. A crash between "snapshot
-// written" and "log truncated" leaves a snapshot whose Records field counts
-// the covered prefix; recovery skips exactly that prefix when the log still
-// holds it, and normalizes the snapshot afterwards so the accounting stays
-// exact across repeated crashes.
+// snapCovers decides whether a snapshot may anchor recovery given what the
+// log scan found, and how many leading log records the snapshot already
+// covers. A snapshot with epoch E describes the first Records records of
+// the era-(E-1) log; the log truncated after installing it carries E.
+func snapCovers(s wal.Snapshot, scan wal.ReplayResult) (skip int, ok bool) {
+	switch {
+	case !scan.HasEpoch:
+		// Empty (or headerless) log: the snapshot alone is the state.
+		return 0, true
+	case scan.Epoch == s.Epoch:
+		// The log was truncated by this snapshot's checkpoint; every record
+		// in it postdates the snapshot.
+		return 0, true
+	case scan.Epoch == s.Epoch-1 && scan.Records >= s.Records:
+		// Crash between snapshot install and log truncation: the log still
+		// holds the covered prefix.
+		return s.Records, true
+	default:
+		return 0, false
+	}
+}
+
+// recover rebuilds the in-memory state from the snapshot pair and the log.
+//
+// The log header's epoch proves which checkpoint era the log extends, which
+// lets recovery decide — never guess — how a snapshot and a log combine
+// (see snapCovers). If the primary snapshot is corrupt or missing, the
+// fallback left by the previous checkpoint's rotation stands in only when
+// the same proof goes through; a pairing that cannot be proven consistent
+// fails the open with ErrCorrupt instead of silently diverging.
 func (db *DB) recover() error {
 	db.replay = true
 	defer func() { db.replay = false }()
+	mRecoveries.Inc()
 
-	snap, haveSnap, err := wal.ReadSnapshot(db.snapPath)
+	// One scan settles the log: complete-record count, header epoch, and
+	// repair of any torn tail.
+	scan, err := wal.Replay(db.fs, db.path, true, func(wal.Record) error { return nil })
 	if err != nil {
 		return err
 	}
+	if scan.Truncated {
+		db.recovery.TornTail = true
+		mRecoveryTorn.Inc()
+	}
+
+	snap, haveSnap, snapErr := wal.ReadSnapshot(db.fs, db.snapPath)
+	if snapErr != nil && !errors.Is(snapErr, wal.ErrSnapshotCorrupt) {
+		return snapErr
+	}
+
+	var (
+		use      wal.Snapshot
+		haveUse  bool
+		usedPrev bool
+		skip     int
+	)
 	if haveSnap {
-		if err := db.restoreSnapshot(snap); err != nil {
-			return err
+		var ok bool
+		if skip, ok = snapCovers(snap, scan); !ok {
+			return fmt.Errorf("%w: snapshot epoch %d does not cover log epoch %d (%d records)",
+				ErrCorrupt, snap.Epoch, scan.Epoch, scan.Records)
+		}
+		use, haveUse = snap, true
+	} else {
+		prev, havePrev, prevErr := wal.ReadSnapshot(db.fs, db.prevSnapPath)
+		switch {
+		case havePrev:
+			if snapErr != nil && !scan.HasEpoch {
+				// The log carries no epoch, so nothing can prove which era
+				// the fallback belongs to; restoring it could silently lose
+				// the records the corrupt primary covered.
+				return fmt.Errorf("%w: no log epoch to validate the fallback snapshot against: %w",
+					ErrCorrupt, snapErr)
+			}
+			var ok bool
+			if skip, ok = snapCovers(prev, scan); !ok {
+				return fmt.Errorf("%w: fallback snapshot epoch %d does not cover log epoch %d",
+					ErrCorrupt, prev.Epoch, scan.Epoch)
+			}
+			use, haveUse, usedPrev = prev, true, true
+			db.recovery.UsedFallback = true
+			mRecoveryFallback.Inc()
+		case prevErr != nil:
+			return fmt.Errorf("%w: no usable snapshot: %w", ErrCorrupt, errors.Join(snapErr, prevErr))
+		default:
+			if snapErr != nil {
+				return fmt.Errorf("%w: %w", ErrCorrupt, snapErr)
+			}
+			// No snapshots at all: legitimate only for a log that has never
+			// been truncated by a checkpoint.
+			if scan.HasEpoch && scan.Epoch > 0 {
+				return fmt.Errorf("%w: log is from checkpoint era %d but its snapshot is gone",
+					ErrCorrupt, scan.Epoch)
+			}
 		}
 	}
-	// First pass: count complete records (and repair torn tails).
-	total := 0
-	if _, err := wal.Replay(db.path, true, func(wal.Record) error {
-		total++
-		return nil
-	}); err != nil {
-		return err
+
+	if haveUse {
+		if err := db.restoreSnapshot(use); err != nil {
+			return err
+		}
+		db.recovery.SnapshotLoaded = true
+		db.epoch = use.Epoch
 	}
-	skip := 0
-	if haveSnap && total >= snap.Records {
-		skip = snap.Records
+	if scan.HasEpoch {
+		db.epoch = scan.Epoch
 	}
+
 	idx := 0
-	if _, err := wal.Replay(db.path, false, func(rec wal.Record) error {
+	if _, err := wal.Replay(db.fs, db.path, false, func(rec wal.Record) error {
 		idx++
 		if idx <= skip {
 			return nil
@@ -153,16 +245,46 @@ func (db *DB) recover() error {
 	}); err != nil {
 		return err
 	}
-	db.walRecords = total
-	if haveSnap && skip != snap.Records {
-		// The covered prefix is gone (log was truncated after the snapshot
-		// was written): rewrite the snapshot so Records matches the log.
-		snap.Records = 0
-		if err := wal.WriteSnapshot(db.snapPath, snap); err != nil {
+	db.walRecords = scan.Records
+	db.recovery.LogRecords = scan.Records
+	db.recovery.Replayed = scan.Records - skip
+	db.recovery.Epoch = db.epoch
+	mRecoveryReplayed.Add(uint64(scan.Records - skip))
+
+	// Normalize: after a fallback promotion or a coverage change the on-disk
+	// primary no longer matches what the next recovery must see.
+	if haveUse && (usedPrev || skip != use.Records) {
+		use.Records = skip
+		if usedPrev {
+			// The fallback slot holds the only good copy; overwrite the
+			// corrupt or missing primary in place rather than rotating it
+			// into that slot, so the fallback keeps protecting the primary.
+			if err := wal.WriteSnapshot(db.fs, db.snapPath, use); err != nil {
+				return err
+			}
+		} else if err := db.installSnapshot(use); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// installSnapshot rotates the current primary snapshot to the fallback name
+// and atomically writes snap as the new primary. The rotation is what makes
+// a corrupt primary survivable: until the next rotation overwrites it, the
+// fallback preserves the last installed snapshot.
+func (db *DB) installSnapshot(snap wal.Snapshot) error {
+	if _, err := db.fs.Stat(db.snapPath); err == nil {
+		if err := db.fs.Rename(db.snapPath, db.prevSnapPath); err != nil {
+			return fmt.Errorf("tdb: rotating snapshot: %w", err)
+		}
+		if err := db.fs.SyncDir(db.snapPath); err != nil {
+			return fmt.Errorf("tdb: rotating snapshot: %w", err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("tdb: rotating snapshot: %w", err)
+	}
+	return wal.WriteSnapshot(db.fs, db.snapPath, snap)
 }
 
 // restoreSnapshot loads a checkpoint into the empty database.
@@ -207,6 +329,13 @@ func (db *DB) restoreSnapshot(snap wal.Snapshot) error {
 // write-ahead log, bounding recovery time. It fails on in-memory
 // databases. The snapshot preserves every stored version, including
 // superseded ones — checkpointing never forgets history.
+//
+// Each checkpoint starts a new epoch: the snapshot records the era it
+// begins and the truncated log carries the same era in its header, the
+// proof recovery uses to pair them back up. The previous primary snapshot
+// is rotated to path + ".snap.prev" rather than overwritten, so a crash —
+// or later bit rot — anywhere in the installation leaves a provably
+// consistent snapshot on disk.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -218,12 +347,13 @@ func (db *DB) Checkpoint() error {
 	}
 	snap := wal.Snapshot{
 		LastCommit: db.mgr.Clock().Last(),
+		Epoch:      db.epoch + 1,
 		Records:    db.walRecords,
 	}
 	for _, name := range db.cat.Names() {
 		rel, err := db.cat.Get(name)
 		if err != nil {
-			return err
+			return wrapErr(err)
 		}
 		rs := wal.RelationSnapshot{
 			Name:         name,
@@ -238,20 +368,24 @@ func (db *DB) Checkpoint() error {
 		})
 		snap.Relations = append(snap.Relations, rs)
 	}
-	if err := wal.WriteSnapshot(db.snapPath, snap); err != nil {
+	if err := db.installSnapshot(snap); err != nil {
 		return err
 	}
-	if err := db.log.Truncate(); err != nil {
+	if err := db.log.Truncate(snap.Epoch); err != nil {
 		return err
 	}
+	db.epoch = snap.Epoch
 	db.walRecords = 0
 	// Conservatively drop warm results: the checkpoint is the boundary a
 	// subsequent restore resumes from, so a cache that straddles it could
 	// otherwise mix pre- and post-recovery keyed entries.
 	db.qc.Clear()
-	// Normalize immediately: the truncated log has no covered prefix.
+	// Normalize immediately: the truncated log has no covered prefix. Going
+	// through the rotation again makes the fallback a same-era copy of the
+	// primary, so even a primary that rots after this point stays
+	// recoverable.
 	snap.Records = 0
-	return wal.WriteSnapshot(db.snapPath, snap)
+	return db.installSnapshot(snap)
 }
 
 // QueryCache returns the database's shared query result cache; nil-safe to
@@ -259,8 +393,14 @@ func (db *DB) Checkpoint() error {
 // TDB_CACHE_BYTES=0).
 func (db *DB) QueryCache() *qcache.Cache { return db.qc }
 
-// Close releases the database; further use returns ErrClosed.
+// Close releases the database; further use returns ErrClosed. Close is
+// idempotent and nil-safe: closing an already-closed database, or the nil
+// *DB left by a failed Open, is a no-op — so `defer db.Close()` is always
+// safe to write before checking Open's error.
 func (db *DB) Close() error {
+	if db == nil {
+		return nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -293,7 +433,7 @@ func (db *DB) create(name string, kind Kind, event bool, sch *Schema) (*Relation
 	}
 	rel, err := db.cat.Create(name, kind, event, sch)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	// Catalog changes are logged at the last issued commit chronon rather
 	// than consuming a new one, so that dated history (UpdateAt) can still
@@ -320,7 +460,7 @@ func (db *DB) DropRelation(name string) error {
 		return ErrClosed
 	}
 	if err := db.cat.Drop(name); err != nil {
-		return err
+		return wrapErr(err)
 	}
 	return db.logRecord(wal.Record{
 		Commit: db.mgr.Clock().Last(),
@@ -337,7 +477,7 @@ func (db *DB) Relation(name string) (*Relation, error) {
 	}
 	rel, err := db.cat.Get(name)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	return &Relation{db: db, rel: rel}, nil
 }
@@ -373,6 +513,11 @@ type Stats struct {
 	WALRecords int
 	// LastCommit is the latest commit chronon issued.
 	LastCommit temporal.Chronon
+	// Epoch is the checkpoint era of the current log file.
+	Epoch uint64
+	// Recovery reports what Open's recovery pass found and repaired; zero
+	// for in-memory databases.
+	Recovery RecoveryInfo
 }
 
 // Stats returns a snapshot of database-wide counters.
@@ -383,6 +528,8 @@ func (db *DB) Stats() Stats {
 		Relations:  db.cat.Len(),
 		WALRecords: db.walRecords,
 		LastCommit: db.mgr.Clock().Last(),
+		Epoch:      db.epoch,
+		Recovery:   db.recovery,
 	}
 	for _, name := range db.cat.Names() {
 		rel, err := db.cat.Get(name)

@@ -1,0 +1,67 @@
+package tdb
+
+import (
+	"errors"
+	"fmt"
+
+	"tdb/internal/catalog"
+	"tdb/internal/core"
+)
+
+// The exported error sentinels. Every error returned by the tdb facade
+// matches exactly one of these under errors.Is; internal-package errors are
+// wrapped, never returned bare, so callers program against this list alone.
+var (
+	// ErrClosed reports use of a closed database.
+	ErrClosed = errors.New("tdb: database closed")
+	// ErrRelationNotFound reports a reference to an unknown relation.
+	ErrRelationNotFound = errors.New("tdb: relation not found")
+	// ErrRelationExists reports creating a relation whose name is taken.
+	ErrRelationExists = errors.New("tdb: relation already exists")
+	// ErrCorrupt reports durable state that recovery could not prove
+	// consistent: a checksum-failed snapshot with no usable fallback, or a
+	// snapshot/log pair whose checkpoint epochs do not line up. Open fails
+	// with ErrCorrupt rather than ever loading a silently divergent state.
+	ErrCorrupt = errors.New("tdb: data corrupt")
+	// ErrBusy reports a server refusing work because it is at its connection
+	// cap or shutting down. Retryable: the client's Do method backs off and
+	// retries it automatically.
+	ErrBusy = errors.New("tdb: server busy")
+	// ErrKindMismatch reports using a relation through operations its kind
+	// does not support — the taxonomy's boundaries, enforced.
+	ErrKindMismatch = catalog.ErrKindMismatch
+	// ErrDuplicateKey re-exports the store-level duplicate key error.
+	ErrDuplicateKey = core.ErrDuplicateKey
+	// ErrNoSuchTuple re-exports the store-level missing tuple error.
+	ErrNoSuchTuple = core.ErrNoSuchTuple
+	// ErrEmptyValidPeriod re-exports the store-level empty period error.
+	ErrEmptyValidPeriod = core.ErrEmptyValidPeriod
+	// ErrNoRollback reports an as-of query on a kind without transaction
+	// time.
+	ErrNoRollback = errors.New("tdb: relation kind does not support rollback (as of)")
+	// ErrNoValidTime reports a valid-time query on a kind without it.
+	ErrNoValidTime = errors.New("tdb: relation kind does not support historical queries")
+)
+
+// Deprecated aliases kept for source compatibility with earlier releases.
+var (
+	// ErrNotFound is ErrRelationNotFound.
+	ErrNotFound = ErrRelationNotFound
+	// ErrExists is ErrRelationExists.
+	ErrExists = ErrRelationExists
+)
+
+// wrapErr lifts internal-package errors onto the exported sentinels while
+// keeping the original chain intact: errors.Is matches the tdb sentinel and
+// the internal cause both.
+func wrapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, catalog.ErrNotFound):
+		return fmt.Errorf("%w: %w", ErrRelationNotFound, err)
+	case errors.Is(err, catalog.ErrExists):
+		return fmt.Errorf("%w: %w", ErrRelationExists, err)
+	}
+	return err
+}

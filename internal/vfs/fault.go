@@ -1,0 +1,262 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+)
+
+// ErrCrashed reports I/O attempted after a FaultFS reached its crash point:
+// the simulated process is dead, and nothing else reaches the disk.
+var ErrCrashed = errors.New("vfs: crashed (injected)")
+
+// ErrInjectedSync is the failure a scheduled fsync fault returns.
+var ErrInjectedSync = errors.New("vfs: fsync failed (injected)")
+
+// FaultFS wraps an FS and injects faults deterministically:
+//
+//   - CrashAfter(n) "crashes the process" at the n-th mutating operation
+//     (write, sync, truncate, rename, remove, directory sync): a write at
+//     the boundary persists only a prefix — a torn write — and every later
+//     operation fails with ErrCrashed. The files already on disk are left
+//     exactly as the crash tore them, so reopening the directory through a
+//     clean FS exercises recovery.
+//   - ShortWriteAt(n) makes the n-th write persist half its bytes and
+//     return io.ErrShortWrite, without crashing.
+//   - FailSyncAt(n) makes the n-th sync (file or directory) fail with
+//     ErrInjectedSync, without crashing and without syncing.
+//
+// Counters start at 1: CrashAfter(1) fires on the first mutating
+// operation. Zero disarms a trigger. All methods are safe for concurrent
+// use.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	ops     int64 // mutating operations performed
+	writes  int64 // writes performed
+	syncs   int64 // syncs performed
+	crashAt int64
+	shortAt int64
+	syncAt  int64
+	crashed bool
+}
+
+// NewFaultFS wraps inner (usually an OS on a temp dir) with fault
+// injection. With no triggers armed it is transparent.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// CrashAfter arms the crash point: the n-th mutating operation from now
+// tears (writes persist a prefix; other operations do not happen) and all
+// subsequent I/O fails with ErrCrashed. n <= 0 disarms.
+func (f *FaultFS) CrashAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		f.crashAt = 0
+		return
+	}
+	f.crashAt = f.ops + n
+}
+
+// ShortWriteAt arms a one-shot short write on the n-th write from now.
+func (f *FaultFS) ShortWriteAt(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		f.shortAt = 0
+		return
+	}
+	f.shortAt = f.writes + n
+}
+
+// FailSyncAt arms a one-shot fsync failure on the n-th sync from now.
+func (f *FaultFS) FailSyncAt(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		f.syncAt = 0
+		return
+	}
+	f.syncAt = f.syncs + n
+}
+
+// Ops returns the number of mutating operations performed so far. Run a
+// workload once against an unarmed FaultFS to learn its operation count,
+// then iterate CrashAfter(1..Ops()) to cover every crash point.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Reset revives a crashed FaultFS and disarms every trigger; the operation
+// counters keep running. The simulated machine has rebooted.
+func (f *FaultFS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	f.crashAt, f.shortAt, f.syncAt = 0, 0, 0
+}
+
+// step accounts one mutating operation and decides its fate: ok to
+// proceed, or an injected failure. isWrite/isSync refine the per-kind
+// counters.
+func (f *FaultFS) step(isWrite, isSync bool) (torn bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	f.ops++
+	if isWrite {
+		f.writes++
+	}
+	if isSync {
+		f.syncs++
+	}
+	if f.crashAt != 0 && f.ops >= f.crashAt {
+		f.crashed = true
+		if isWrite {
+			return true, ErrCrashed
+		}
+		return false, ErrCrashed
+	}
+	if isWrite && f.shortAt != 0 && f.writes == f.shortAt {
+		f.shortAt = 0
+		return true, fmt.Errorf("vfs: injected short write: %w", io.ErrShortWrite)
+	}
+	if isSync && f.syncAt != 0 && f.syncs == f.syncAt {
+		f.syncAt = 0
+		return false, ErrInjectedSync
+	}
+	return false, nil
+}
+
+// dead reports (under no lock) whether reads should fail too.
+func (f *FaultFS) dead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// OpenFile opens through the inner FS; a crashed FS opens nothing.
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// ReadFile reads through the inner FS; a crashed FS reads nothing.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+// Rename counts as a mutating operation; at the crash point it does not
+// happen.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.step(false, false); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove counts as a mutating operation.
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.step(false, false); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Truncate counts as a mutating operation.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if _, err := f.step(false, false); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// Stat reads metadata; a crashed FS fails.
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+// SyncDir counts as a sync and honors fsync faults.
+func (f *FaultFS) SyncDir(name string) error {
+	if _, err := f.step(false, true); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(name)
+}
+
+// faultFile routes a file's operations through its FaultFS's fault plan.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+// Write honors short-write and crash faults: a torn write persists the
+// first half of p so the on-disk file ends mid-record.
+func (f *faultFile) Write(p []byte) (int, error) {
+	torn, err := f.fs.step(true, false)
+	if err != nil {
+		if torn && len(p) > 0 {
+			n, _ := f.inner.Write(p[:len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+// Seek passes through (not a mutating operation), but a crashed file fails.
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if err := f.fs.dead(); err != nil {
+		return 0, err
+	}
+	return f.inner.Seek(offset, whence)
+}
+
+// Truncate counts as a mutating operation.
+func (f *faultFile) Truncate(size int64) error {
+	if _, err := f.fs.step(false, false); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+// Sync counts as a sync and honors fsync faults.
+func (f *faultFile) Sync() error {
+	if _, err := f.fs.step(false, true); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close always releases the inner handle; a crashed process's descriptors
+// are gone either way.
+func (f *faultFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,92 @@
+// Package vfs is the boundary between the storage layer and the operating
+// system: every byte the write-ahead log or a checkpoint snapshot moves to
+// or from disk goes through an FS. The OS implementation is a thin veneer
+// over package os; FaultFS wraps any FS and injects short writes, fsync
+// failures, and whole-process "crashes" at a chosen operation count, which
+// is what makes every recovery path deterministically testable.
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is an open file handle. The storage layer appends, syncs, seeks,
+// and truncates; it never memory-maps or reads through the handle (whole-
+// file reads go through FS.ReadFile).
+type File interface {
+	// Write appends len(p) bytes at the current offset. Implementations
+	// follow os.File: n < len(p) only with a non-nil error.
+	Write(p []byte) (n int, err error)
+	// Seek repositions the offset as io.Seeker does.
+	Seek(offset int64, whence int) (int64, error)
+	// Truncate changes the file size without moving the offset.
+	Truncate(size int64) error
+	// Sync flushes the file's data and metadata to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+}
+
+// FS is the set of filesystem operations durability is built from.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadFile returns the whole contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate resizes the named file.
+	Truncate(name string, size int64) error
+	// Stat reports on the named file.
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs the directory containing name, making a preceding
+	// rename or create in it durable.
+	SyncDir(name string) error
+}
+
+// OS is the default FS: the real operating system. The zero value is ready
+// to use.
+type OS struct{}
+
+// osFS is the shared default instance handed out by Default.
+var osFS FS = OS{}
+
+// Default returns the process-wide OS filesystem.
+func Default() FS { return osFS }
+
+// OpenFile opens the file through package os.
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile reads the whole file through package os.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename renames through package os.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes through package os.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate resizes through package os.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// Stat stats through package os.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir opens the parent directory of name and fsyncs it.
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Dir(name))
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

@@ -1,0 +1,231 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Default()
+	path := filepath.Join(dir, "a.dat")
+
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if off, err := f.Seek(0, io.SeekEnd); err != nil || off != 5 {
+		t.Fatalf("seek end = %d, %v", off, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := fsys.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	fi, err := fsys.Stat(path)
+	if err != nil || fi.Size() != 5 {
+		t.Fatalf("stat: %v, %v", fi, err)
+	}
+
+	dst := filepath.Join(dir, "b.dat")
+	if err := fsys.Rename(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Truncate(dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := fsys.ReadFile(dst); string(data) != "he" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	if err := fsys.Remove(dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat(dst); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stat after remove: %v", err)
+	}
+}
+
+func TestFaultFSTransparentWhenUnarmed(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(Default())
+	path := filepath.Join(dir, "a.dat")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got, _ := fsys.ReadFile(path); string(got) != "abc" {
+		t.Fatalf("read %q", got)
+	}
+	if fsys.Ops() != 2 { // one write, one sync
+		t.Errorf("ops = %d, want 2", fsys.Ops())
+	}
+	if fsys.Crashed() {
+		t.Error("unarmed FaultFS crashed")
+	}
+}
+
+func TestFaultFSCrashTearsWrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(Default())
+	path := filepath.Join(dir, "a.dat")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys.CrashAfter(1)
+	if _, err := f.Write([]byte("0123456789")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write at crash point: %v", err)
+	}
+	if !fsys.Crashed() {
+		t.Fatal("crash point did not fire")
+	}
+	// Everything afterwards is dead.
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("sync after crash: %v", err)
+	}
+	if _, err := fsys.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("open after crash: %v", err)
+	}
+	if _, err := fsys.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Errorf("read after crash: %v", err)
+	}
+	if err := fsys.Rename(path, path+".x"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("rename after crash: %v", err)
+	}
+	// The torn prefix is on disk, visible through a clean FS — exactly what
+	// recovery will see after the reboot.
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "01234" {
+		t.Fatalf("torn write left %q, %v", data, err)
+	}
+	// Reboot: the same FaultFS, revived, sees the torn file.
+	fsys.Reset()
+	if data, err := fsys.ReadFile(path); err != nil || string(data) != "01234" {
+		t.Fatalf("after reset: %q, %v", data, err)
+	}
+}
+
+func TestFaultFSCrashSkipsNonWriteOps(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(Default())
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := os.WriteFile(a, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys.CrashAfter(1)
+	if err := fsys.Rename(a, b); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename at crash point: %v", err)
+	}
+	// The rename must NOT have happened: the crash precedes the operation.
+	if _, err := os.Stat(a); err != nil {
+		t.Error("crash-point rename was applied")
+	}
+	if _, err := os.Stat(b); !errors.Is(err, os.ErrNotExist) {
+		t.Error("crash-point rename created destination")
+	}
+}
+
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(Default())
+	path := filepath.Join(dir, "a.dat")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys.ShortWriteAt(2)
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("second write: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("short write persisted %d bytes, want 2", n)
+	}
+	// One-shot: the next write succeeds, and nothing crashed.
+	if _, err := f.Write([]byte("cc")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if data, _ := fsys.ReadFile(path); string(data) != "aaaabbcc" {
+		t.Fatalf("file contents %q", data)
+	}
+}
+
+func TestFaultFSSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(Default())
+	f, err := fsys.OpenFile(filepath.Join(dir, "a.dat"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys.FailSyncAt(2)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("second sync: %v", err)
+	}
+	// One-shot and non-fatal.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Directory syncs share the sync counter.
+	fsys.FailSyncAt(1)
+	if err := fsys.SyncDir(filepath.Join(dir, "a.dat")); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("dir sync: %v", err)
+	}
+	f.Close()
+}
+
+func TestFaultFSCrashAfterCountsFromNow(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(Default())
+	f, err := fsys.OpenFile(filepath.Join(dir, "a.dat"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Arm after 5 ops already happened: 2 more survive, the 3rd dies.
+	fsys.CrashAfter(3)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("y")); err != nil {
+			t.Fatalf("op %d after arming: %v", i+1, err)
+		}
+	}
+	if _, err := f.Write([]byte("z")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("3rd op after arming: %v", err)
+	}
+	f.Close()
+}

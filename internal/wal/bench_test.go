@@ -39,7 +39,7 @@ func BenchmarkDecodeRecord(b *testing.B) {
 }
 
 func BenchmarkAppendNoSync(b *testing.B) {
-	l, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{})
+	l, err := Open(nil, filepath.Join(b.TempDir(), "bench.wal"), Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func BenchmarkAppendNoSync(b *testing.B) {
 }
 
 func BenchmarkAppendSync(b *testing.B) {
-	l, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{Sync: true})
+	l, err := Open(nil, filepath.Join(b.TempDir(), "bench.wal"), Options{Sync: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func BenchmarkAppendSync(b *testing.B) {
 
 func BenchmarkReplay(b *testing.B) {
 	path := filepath.Join(b.TempDir(), "bench.wal")
-	l, err := Open(path, Options{})
+	l, err := Open(nil, path, Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func BenchmarkReplay(b *testing.B) {
 	l.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Replay(path, false, func(Record) error { return nil })
+		res, err := Replay(nil, path, false, func(Record) error { return nil })
 		if err != nil || res.Records != 10000 {
 			b.Fatalf("%+v, %v", res, err)
 		}

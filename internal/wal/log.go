@@ -8,23 +8,74 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"tdb/internal/vfs"
 )
 
-// Frame layout on disk: 4-byte big-endian payload length, 4-byte big-endian
-// CRC-32 (Castagnoli) of the payload, payload bytes. A record whose frame is
-// incomplete or whose CRC mismatches marks the end of the usable log; the
-// tail beyond it is discarded on recovery (torn write after a crash).
+// File layout. A non-empty log starts with a 20-byte header: 8-byte magic,
+// 8-byte big-endian epoch, 4-byte CRC-32 (Castagnoli) of magic+epoch. The
+// epoch names the checkpoint era this log extends: it equals the Epoch of
+// the snapshot that truncated the log (0 before the first checkpoint), and
+// recovery uses it to prove that a snapshot and a log belong together
+// before combining them. The header is written lazily with the first
+// append, so an empty log file stays zero bytes (and carries no epoch —
+// an empty log is trivially consistent with any snapshot).
+//
+// Frames follow: 4-byte big-endian payload length, 4-byte big-endian
+// CRC-32 (Castagnoli) over the length bytes and the payload — covering the
+// length means a bit-flip in the length field itself is also caught —
+// then the payload. A frame that is incomplete or fails its CRC marks the
+// end of the usable log; the tail beyond it is discarded on recovery (torn
+// write after a crash).
 
-const frameHeader = 8
+const (
+	frameHeader = 8
+	headerLen   = 20
+)
+
+var logMagic = []byte("TDBWAL02")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameCRC is the per-record checksum: it covers the frame's length field
+// and the payload.
+func frameCRC(lenField, payload []byte) uint32 {
+	return crc32.Update(crc32.Checksum(lenField, crcTable), crcTable, payload)
+}
+
+// encodeHeader renders the log file header for an epoch.
+func encodeHeader(epoch uint64) []byte {
+	h := make([]byte, headerLen)
+	copy(h, logMagic)
+	binary.BigEndian.PutUint64(h[8:16], epoch)
+	binary.BigEndian.PutUint32(h[16:20], crc32.Checksum(h[:16], crcTable))
+	return h
+}
+
+// decodeHeader validates a log file header, returning its epoch.
+func decodeHeader(data []byte) (uint64, bool) {
+	if len(data) < headerLen {
+		return 0, false
+	}
+	if string(data[:8]) != string(logMagic) {
+		return 0, false
+	}
+	if crc32.Checksum(data[:16], crcTable) != binary.BigEndian.Uint32(data[16:20]) {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(data[8:16]), true
+}
 
 // ErrClosed reports use of a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
-// Log is an append-only write-ahead log file.
+// Log is an append-only write-ahead log file. All I/O goes through the
+// vfs.FS it was opened with, which is how fault-injection tests reach it.
 type Log struct {
-	f      *os.File
+	fsys   vfs.FS
+	f      vfs.File
+	size   int64 // current end offset; 0 means the header is unwritten
+	epoch  uint64
 	sync   bool
 	closed bool
 }
@@ -34,32 +85,56 @@ type Options struct {
 	// Sync forces an fsync after every append; slower, but a crash loses at
 	// most the in-flight transaction. Off by default (the OS flushes).
 	Sync bool
+	// Epoch is the checkpoint era stamped into the file header when this
+	// log writes its first frame into an empty file. Recovery supplies the
+	// era it recovered to; zero is the pre-first-checkpoint era.
+	Epoch uint64
 }
 
-// Open opens (creating if needed) the log at path for appending.
-func Open(path string, opts Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+// Open opens (creating if needed) the log at path for appending through
+// fsys. A nil fsys uses the operating system.
+func Open(fsys vfs.FS, path string, opts Options) (*Log, error) {
+	if fsys == nil {
+		fsys = vfs.Default()
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &Log{f: f, sync: opts.Sync}, nil
+	return &Log{fsys: fsys, f: f, size: size, epoch: opts.Epoch, sync: opts.Sync}, nil
 }
 
-// Append writes one transaction record to the log.
+// Epoch returns the checkpoint era the log stamps (or has stamped) into
+// its header.
+func (l *Log) Epoch() uint64 { return l.epoch }
+
+// Append writes one transaction record to the log. The first append into
+// an empty file carries the header in the same write, so a torn first
+// write can never leave a valid header with no usable epoch semantics.
 func (l *Log) Append(r Record) error {
 	if l.closed {
 		return ErrClosed
 	}
 	payload := EncodeRecord(r)
-	frame := make([]byte, frameHeader+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
-	copy(frame[frameHeader:], payload)
-	if _, err := l.f.Write(frame); err != nil {
+	pre := 0
+	if l.size == 0 {
+		pre = headerLen
+	}
+	frame := make([]byte, pre+frameHeader+len(payload))
+	if pre > 0 {
+		copy(frame, encodeHeader(l.epoch))
+	}
+	binary.BigEndian.PutUint32(frame[pre:pre+4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[pre+4:pre+8], frameCRC(frame[pre:pre+4], payload))
+	copy(frame[pre+frameHeader:], payload)
+	n, err := l.f.Write(frame)
+	l.size += int64(n)
+	if err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	mRecords.Inc()
@@ -74,9 +149,10 @@ func (l *Log) Append(r Record) error {
 	return nil
 }
 
-// Truncate discards the log's contents, restarting it empty. Used after a
-// checkpoint has made the logged history redundant.
-func (l *Log) Truncate() error {
+// Truncate discards the log's contents and starts a new epoch: the next
+// append writes a fresh header carrying it. Used after a checkpoint has
+// made the logged history redundant.
+func (l *Log) Truncate(epoch uint64) error {
 	if l.closed {
 		return ErrClosed
 	}
@@ -89,6 +165,8 @@ func (l *Log) Truncate() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: truncate sync: %w", err)
 	}
+	l.size = 0
+	l.epoch = epoch
 	return nil
 }
 
@@ -114,15 +192,25 @@ type ReplayResult struct {
 	Truncated bool
 	// GoodBytes is the offset of the end of the last complete record.
 	GoodBytes int64
+	// Epoch is the checkpoint era from the file header; meaningful only
+	// when HasEpoch is true.
+	Epoch uint64
+	// HasEpoch reports whether the file carried a valid header. An empty
+	// (or headerless, torn-at-birth) log has no epoch.
+	HasEpoch bool
 }
 
 // Replay reads the log at path from the beginning, calling fn for every
 // complete, checksum-valid record in order. When repair is true, a torn or
-// corrupt tail is truncated away so subsequent appends start clean.
-// A missing file replays zero records.
-func Replay(path string, repair bool, fn func(Record) error) (ReplayResult, error) {
+// corrupt tail is truncated away so subsequent appends start clean; a file
+// whose header itself is torn is truncated to empty. A missing file
+// replays zero records.
+func Replay(fsys vfs.FS, path string, repair bool, fn func(Record) error) (ReplayResult, error) {
+	if fsys == nil {
+		fsys = vfs.Default()
+	}
 	var res ReplayResult
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return res, nil
@@ -130,6 +218,21 @@ func Replay(path string, repair bool, fn func(Record) error) (ReplayResult, erro
 		return res, fmt.Errorf("wal: replay read: %w", err)
 	}
 	off := int64(0)
+	if len(data) > 0 {
+		epoch, ok := decodeHeader(data)
+		if !ok {
+			// Torn or corrupt header: nothing in the file is trustworthy.
+			res.Truncated = true
+			if repair {
+				if err := fsys.Truncate(path, 0); err != nil {
+					return res, fmt.Errorf("wal: truncating torn header: %w", err)
+				}
+			}
+			return res, nil
+		}
+		res.Epoch, res.HasEpoch = epoch, true
+		off = headerLen
+	}
 	for {
 		rest := data[off:]
 		if len(rest) == 0 {
@@ -146,7 +249,7 @@ func Replay(path string, repair bool, fn func(Record) error) (ReplayResult, erro
 			break
 		}
 		payload := rest[frameHeader : frameHeader+n]
-		if crc32.Checksum(payload, crcTable) != sum {
+		if frameCRC(rest[0:4], payload) != sum {
 			res.Truncated = true
 			break
 		}
@@ -165,7 +268,7 @@ func Replay(path string, repair bool, fn func(Record) error) (ReplayResult, erro
 	}
 	res.GoodBytes = off
 	if res.Truncated && repair {
-		if err := os.Truncate(path, off); err != nil {
+		if err := fsys.Truncate(path, off); err != nil {
 			return res, fmt.Errorf("wal: truncating torn tail: %w", err)
 		}
 	}

@@ -11,16 +11,21 @@ import (
 	"tdb/internal/core"
 	"tdb/internal/schema"
 	"tdb/internal/tuple"
+	"tdb/internal/vfs"
 	"tdb/temporal"
 )
 
 // Snapshot is a checkpoint of a whole database: every relation with every
 // stored version (including superseded ones — append-only history must
-// survive checkpointing). Records counts how many WAL records the snapshot
-// covers, so recovery can skip exactly that prefix when a crash leaves the
-// old log beside a fresh snapshot.
+// survive checkpointing). Epoch is the checkpoint era this snapshot began:
+// writing a snapshot with Epoch E covers the first Records records of the
+// era-(E-1) log, and the log truncated after installing it carries E in
+// its header. Recovery compares the two epochs to prove a snapshot and a
+// log belong together before combining them — the guard that makes the
+// previous-snapshot fallback safe.
 type Snapshot struct {
 	LastCommit temporal.Chronon
+	Epoch      uint64
 	Records    int
 	Relations  []RelationSnapshot
 }
@@ -39,7 +44,7 @@ type RelationSnapshot struct {
 	Versions     []core.Version
 }
 
-var snapMagic = []byte("TDBSNAP1")
+var snapMagic = []byte("TDBSNAP2")
 
 // ErrSnapshotCorrupt reports a snapshot failing its checksum or structure.
 var ErrSnapshotCorrupt = errors.New("wal: snapshot corrupt")
@@ -47,6 +52,7 @@ var ErrSnapshotCorrupt = errors.New("wal: snapshot corrupt")
 // EncodeSnapshot serializes a snapshot (magic + payload + CRC trailer).
 func EncodeSnapshot(s Snapshot) []byte {
 	payload := appendChronon(nil, s.LastCommit)
+	payload = binary.AppendUvarint(payload, s.Epoch)
 	payload = binary.AppendUvarint(payload, uint64(s.Records))
 	payload = binary.AppendUvarint(payload, uint64(len(s.Relations)))
 	for _, r := range s.Relations {
@@ -91,6 +97,12 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 		return s, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 	}
 	s.LastCommit = last
+	epoch, n := binary.Uvarint(payload[off:])
+	if n <= 0 {
+		return s, fmt.Errorf("%w: epoch", ErrSnapshotCorrupt)
+	}
+	off += n
+	s.Epoch = epoch
 	records, n := binary.Uvarint(payload[off:])
 	if n <= 0 {
 		return s, fmt.Errorf("%w: record count", ErrSnapshotCorrupt)
@@ -160,33 +172,41 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	return s, nil
 }
 
-// WriteSnapshot atomically writes the snapshot to path: a temp file in the
-// same directory, fsynced, then renamed over the destination.
-func WriteSnapshot(path string, s Snapshot) error {
+// WriteSnapshot atomically installs the snapshot at path: a temp file in
+// the same directory, fsynced, renamed over the destination, then the
+// directory fsynced so the rename itself is durable. A crash at any point
+// leaves either the old file or the new one — never a torn mixture.
+func WriteSnapshot(fsys vfs.FS, path string, s Snapshot) error {
+	if fsys == nil {
+		fsys = vfs.Default()
+	}
 	start := time.Now()
 	data := EncodeSnapshot(s)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: snapshot write: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: snapshot sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: snapshot close: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err := fsys.SyncDir(path); err != nil {
+		return fmt.Errorf("wal: snapshot dir sync: %w", err)
 	}
 	mSnapshot.ObserveSince(start)
 	mSnapshotBytes.Add(uint64(len(data)))
@@ -194,10 +214,13 @@ func WriteSnapshot(path string, s Snapshot) error {
 }
 
 // ReadSnapshot loads a snapshot; a missing file returns ok=false with no
-// error, and a corrupt file returns ErrSnapshotCorrupt (recovery then falls
-// back to full log replay).
-func ReadSnapshot(path string) (Snapshot, bool, error) {
-	data, err := os.ReadFile(path)
+// error, and a corrupt file returns ErrSnapshotCorrupt (recovery then
+// decides whether the previous snapshot can stand in).
+func ReadSnapshot(fsys vfs.FS, path string) (Snapshot, bool, error) {
+	if fsys == nil {
+		fsys = vfs.Default()
+	}
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return Snapshot{}, false, nil

@@ -15,6 +15,7 @@ func sampleSnapshot(t *testing.T) Snapshot {
 	t.Helper()
 	return Snapshot{
 		LastCommit: temporal.Date(1984, 2, 25),
+		Epoch:      3,
 		Records:    42,
 		Relations: []RelationSnapshot{
 			{
@@ -42,7 +43,7 @@ func sampleSnapshot(t *testing.T) Snapshot {
 }
 
 func snapshotsEqual(a, b Snapshot) bool {
-	if a.LastCommit != b.LastCommit || a.Records != b.Records || len(a.Relations) != len(b.Relations) {
+	if a.LastCommit != b.LastCommit || a.Epoch != b.Epoch || a.Records != b.Records || len(a.Relations) != len(b.Relations) {
 		return false
 	}
 	for i := range a.Relations {
@@ -77,10 +78,10 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.snap")
 	s := sampleSnapshot(t)
-	if err := WriteSnapshot(path, s); err != nil {
+	if err := WriteSnapshot(nil, path, s); err != nil {
 		t.Fatal(err)
 	}
-	dec, ok, err := ReadSnapshot(path)
+	dec, ok, err := ReadSnapshot(nil, path)
 	if err != nil || !ok {
 		t.Fatalf("read: %v, %v", ok, err)
 	}
@@ -89,17 +90,17 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	}
 	// Overwrite is atomic and repeatable.
 	s.Records = 0
-	if err := WriteSnapshot(path, s); err != nil {
+	if err := WriteSnapshot(nil, path, s); err != nil {
 		t.Fatal(err)
 	}
-	dec, _, err = ReadSnapshot(path)
+	dec, _, err = ReadSnapshot(nil, path)
 	if err != nil || dec.Records != 0 {
 		t.Fatalf("overwrite: %+v, %v", dec, err)
 	}
 }
 
 func TestSnapshotMissingFile(t *testing.T) {
-	_, ok, err := ReadSnapshot(filepath.Join(t.TempDir(), "absent.snap"))
+	_, ok, err := ReadSnapshot(nil, filepath.Join(t.TempDir(), "absent.snap"))
 	if err != nil || ok {
 		t.Fatalf("missing snapshot: ok=%v err=%v", ok, err)
 	}

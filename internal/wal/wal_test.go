@@ -115,7 +115,7 @@ func TestDecodeRecordErrors(t *testing.T) {
 
 func TestLogAppendReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tdb.wal")
-	l, err := Open(path, Options{Sync: true})
+	l, err := Open(nil, path, Options{Sync: true, Epoch: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestLogAppendReplay(t *testing.T) {
 	}
 
 	var got []Record
-	res, err := Replay(path, false, func(r Record) error {
+	res, err := Replay(nil, path, false, func(r Record) error {
 		got = append(got, r)
 		return nil
 	})
@@ -149,6 +149,9 @@ func TestLogAppendReplay(t *testing.T) {
 	if res.Records != 2 || res.Truncated {
 		t.Fatalf("replay result = %+v", res)
 	}
+	if !res.HasEpoch || res.Epoch != 7 {
+		t.Fatalf("header epoch = %d (has=%v), want 7", res.Epoch, res.HasEpoch)
+	}
 	for i := range recs {
 		if !recordsEqual(recs[i], got[i]) {
 			t.Fatalf("record %d mismatch", i)
@@ -157,7 +160,7 @@ func TestLogAppendReplay(t *testing.T) {
 }
 
 func TestReplayMissingFile(t *testing.T) {
-	res, err := Replay(filepath.Join(t.TempDir(), "nope.wal"), true, func(Record) error {
+	res, err := Replay(nil, filepath.Join(t.TempDir(), "nope.wal"), true, func(Record) error {
 		t.Fatal("callback on missing file")
 		return nil
 	})
@@ -172,7 +175,7 @@ func TestReplayMissingFile(t *testing.T) {
 func TestReplayTornTail(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.wal")
-	l, err := Open(base, Options{})
+	l, err := Open(nil, base, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +214,7 @@ func TestReplayTornTail(t *testing.T) {
 			t.Fatal(err)
 		}
 		var got int
-		res, err := Replay(path, true, func(r Record) error {
+		res, err := Replay(nil, path, true, func(r Record) error {
 			got++
 			return nil
 		})
@@ -221,7 +224,8 @@ func TestReplayTornTail(t *testing.T) {
 		if got != wantComplete(cut) {
 			t.Fatalf("cut %d: replayed %d records, want %d", cut, got, wantComplete(cut))
 		}
-		atBoundary := cut == 0
+		// Clean cuts: empty file, exactly the header, or a record boundary.
+		atBoundary := cut == 0 || cut == headerLen
 		for _, b := range bounds {
 			if cut == b {
 				atBoundary = true
@@ -231,7 +235,7 @@ func TestReplayTornTail(t *testing.T) {
 			t.Fatalf("cut %d: Truncated = %v, boundary = %v", cut, res.Truncated, atBoundary)
 		}
 		// After repair, appending and replaying again must work.
-		l2, err := Open(path, Options{})
+		l2, err := Open(nil, path, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -240,7 +244,7 @@ func TestReplayTornTail(t *testing.T) {
 		}
 		l2.Close()
 		got = 0
-		res2, err := Replay(path, false, func(Record) error { got++; return nil })
+		res2, err := Replay(nil, path, false, func(Record) error { got++; return nil })
 		if err != nil || res2.Truncated {
 			t.Fatalf("cut %d post-repair: %+v, %v", cut, res2, err)
 		}
@@ -257,7 +261,7 @@ func TestReplayDetectsCorruption(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 50; trial++ {
 		path := filepath.Join(dir, "c.wal")
-		l, err := Open(path, Options{})
+		l, err := Open(nil, path, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -271,7 +275,7 @@ func TestReplayDetectsCorruption(t *testing.T) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		res, err := Replay(path, false, func(Record) error { return nil })
+		res, err := Replay(nil, path, false, func(Record) error { return nil })
 		if err != nil {
 			t.Fatal(err)
 		}

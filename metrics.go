@@ -1,0 +1,16 @@
+package tdb
+
+import "tdb/internal/obs"
+
+var (
+	mRecoveries = obs.Default.Counter("tdb_recovery_total",
+		"Recovery passes run by Open on log-backed databases.")
+	mRecoveryReplayed = obs.Default.Counter("tdb_recovery_replayed_records_total",
+		"Log records applied on top of snapshots during recovery.")
+	mRecoveryTorn = obs.Default.Counter("tdb_recovery_torn_tails_total",
+		"Torn or corrupt log tails truncated away during recovery.")
+	mRecoveryFallback = obs.Default.Counter("tdb_recovery_snapshot_fallbacks_total",
+		"Recoveries that restored the previous snapshot because the primary was corrupt or missing.")
+	mRecoveryFailed = obs.Default.Counter("tdb_recovery_failures_total",
+		"Open calls that failed because recovery could not prove the durable state consistent.")
+)

@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tdb"
+	"tdb/temporal"
+)
+
+// startServerWith is startServer with a configuration hook applied before
+// Serve.
+func startServerWith(t *testing.T, tune func(*Server)) (*Server, string) {
+	t.Helper()
+	db, err := tdb.Open("", tdb.Options{Clock: temporal.NewTickingClock(temporal.Date(1985, 1, 1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := New(db, nil)
+	if tune != nil {
+		tune(srv)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("Serve did not return after Close")
+		}
+	})
+	return srv, l.Addr().String()
+}
+
+// Over-cap connections get a typed busy rejection; clients within the cap
+// are served normally, and slots free up as connections close.
+func TestMaxConnsBusyRejection(t *testing.T) {
+	const cap = 4
+	_, addr := startServerWith(t, func(s *Server) { s.MaxConns = cap })
+
+	// Fill the cap with clients that hold their slots (verified live with a
+	// round trip, so the server has registered all of them).
+	var held []*Client
+	for i := 0; i < cap; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Exec(`create static relation ok` + fmt.Sprint(i) + ` (x = int)`); err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, c)
+	}
+
+	// Push to 2x the cap: every extra connection must be rejected with the
+	// typed busy error — not hang, not get a silent close.
+	var busy atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < cap; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial over cap: %v", err)
+				return
+			}
+			defer c.Close()
+			_, err = c.Exec(`retrieve (v.x)`)
+			if errors.Is(err, tdb.ErrBusy) {
+				busy.Add(1)
+				return
+			}
+			t.Errorf("over-cap exec: %v, want tdb.ErrBusy", err)
+		}()
+	}
+	wg.Wait()
+	if got := busy.Load(); got != cap {
+		t.Fatalf("busy rejections = %d, want %d", got, cap)
+	}
+
+	// Held clients are still healthy.
+	if _, err := held[0].Exec(`create static relation after (x = int)`); err != nil {
+		t.Fatalf("held connection broken by rejections: %v", err)
+	}
+	// Releasing a slot admits a new client.
+	held[cap-1].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Exec(`create static relation readmitted (x = int)`)
+		c.Close()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, tdb.ErrBusy) || time.Now().After(deadline) {
+			t.Fatalf("after releasing a slot: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, c := range held[:cap-1] {
+		c.Close()
+	}
+}
+
+// Do absorbs busy rejections: with the cap held, Do keeps backing off and
+// redialing until a slot frees, then succeeds.
+func TestClientDoRetriesBusy(t *testing.T) {
+	_, addr := startServerWith(t, func(s *Server) { s.MaxConns = 1 })
+
+	holder, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := holder.Exec(`create static relation r (x = int)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Free the slot while the second client is mid-backoff.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		holder.Close()
+	}()
+
+	c, err := Dial(addr) // rejected connection: Do must redial through it
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Do(context.Background(), Request{Src: `append to r (x = 1)`})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("Do response: %+v", resp)
+	}
+
+	// A canceled context stops the retry loop with the context error.
+	// First hand the slot from c to a fresh holder (retrying until the
+	// server has released c's slot).
+	c.Close()
+	var hold2 *Client
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hold2, err = Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err = hold2.Exec(`retrieve (x.y)`); err == nil {
+			break // slot occupied (the execution error is in resp.Error)
+		}
+		hold2.Close()
+		if !errors.Is(err, tdb.ErrBusy) || time.Now().After(deadline) {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer hold2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Do(ctx, Request{Src: `retrieve (v.x)`}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do with expired context: %v", err)
+	}
+}
+
+// Requests from a different protocol major are refused with a structured
+// error; the connection stays open and current-major requests still work.
+func TestProtocolVersionNegotiation(t *testing.T) {
+	_, addr := startServerWith(t, nil)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	roundTrip := func(req string) Response {
+		t.Helper()
+		if _, err := fmt.Fprintln(conn, req); err != nil {
+			t.Fatal(err)
+		}
+		dec := json.NewDecoder(conn)
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := roundTrip(`{"v": "9.0", "src": "retrieve (v.x)"}`)
+	if resp.Code != CodeVersion || resp.Error == "" {
+		t.Fatalf("future-major response = %+v", resp)
+	}
+	if resp.V != ProtoVersion {
+		t.Fatalf("response version = %q, want %q", resp.V, ProtoVersion)
+	}
+	// Same connection, supported version: served.
+	resp = roundTrip(`{"v": "` + ProtoVersion + `", "src": "create static relation ok (x = int)"}`)
+	if resp.Code != "" || resp.Error != "" {
+		t.Fatalf("current-major response = %+v", resp)
+	}
+	// No version at all (legacy client): served.
+	resp = roundTrip(`{"src": "create static relation legacy (x = int)"}`)
+	if resp.Code != "" || resp.Error != "" {
+		t.Fatalf("legacy response = %+v", resp)
+	}
+	// A newer *minor* is fine.
+	resp = roundTrip(`{"v": "1.9", "src": "create static relation minor (x = int)"}`)
+	if resp.Code != "" || resp.Error != "" {
+		t.Fatalf("newer-minor response = %+v", resp)
+	}
+}
+
+// Shutdown drains: a request in flight when Close starts still gets its
+// response; idle connections are released without waiting for the timeout.
+func TestCloseDrainsInFlight(t *testing.T) {
+	db, err := tdb.Open("", tdb.Options{Clock: temporal.NewTickingClock(temporal.Date(1985, 1, 1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := New(db, nil)
+	srv.DrainTimeout = 10 * time.Second
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`create static relation d (x = int)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// An idle extra connection must not hold the drain open.
+	idle, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	if _, err := idle.Exec(`retrieve (d.x)`); err != nil {
+		t.Fatal(err) // make sure the server registered it
+	}
+
+	// Race a request against Close. Whichever way the race lands, the
+	// outcome must be clean: a full response or a connection-level error —
+	// never a hang, and Close itself must finish well under DrainTimeout.
+	execDone := make(chan error, 1)
+	go func() {
+		_, err := c.Exec(`append to d (x = 1)`)
+		execDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	closeStart := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(closeStart); elapsed > 5*time.Second {
+		t.Fatalf("Close took %s: drain did not release idle connections", elapsed)
+	}
+	select {
+	case <-execDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request neither answered nor failed")
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+}
+
+// The per-connection read timeout disconnects idle clients.
+func TestReadTimeoutDisconnectsIdle(t *testing.T) {
+	_, addr := startServerWith(t, func(s *Server) { s.ReadTimeout = 100 * time.Millisecond })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`create static relation z (x = int)`); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if _, err := c.Exec(`retrieve (z.x)`); err == nil {
+		t.Fatal("idle connection still alive after read timeout")
+	}
+}

@@ -2,19 +2,24 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"time"
+
+	"tdb"
 )
 
 // Client is a connection to a tdbd server. It is not safe for concurrent
 // use: the protocol is strictly request/response per connection (open one
 // client per goroutine).
 type Client struct {
-	conn net.Conn
-	r    *bufio.Scanner
-	w    *bufio.Writer
+	addr        string
+	dialTimeout time.Duration
+	conn        net.Conn
+	r           *bufio.Scanner
+	w           *bufio.Writer
 }
 
 // Dial connects to a tdbd server.
@@ -24,26 +29,89 @@ func Dial(addr string) (*Client, error) {
 
 // DialTimeout connects with a bound on connection establishment.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	c := &Client{addr: addr, dialTimeout: timeout}
+	if err := c.redial(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// redial (re)establishes the transport, dropping any previous connection.
+func (c *Client) redial() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+		return fmt.Errorf("server: dial %s: %w", c.addr, err)
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), maxLine)
-	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+	c.conn, c.r, c.w = conn, sc, bufio.NewWriter(conn)
+	return nil
 }
 
 // Exec sends TQuel source and returns the server's response. A non-nil
-// error means the transport failed; execution errors arrive in
-// Response.Error with the connection still usable.
+// error means the transport failed or the server refused the request
+// (busy rejections surface as tdb.ErrBusy — use Do to retry them
+// automatically); execution errors arrive in Response.Error with the
+// connection still usable.
 func (c *Client) Exec(src string) (*Response, error) {
-	return c.send(Request{Src: src})
+	return c.send(Request{V: ProtoVersion, Src: src})
 }
 
 // Command sends an admin command ("cache", "cache clear") and returns the
 // server's response; cache statistics arrive in Response.Cache.
 func (c *Client) Command(cmd string) (*Response, error) {
-	return c.send(Request{Cmd: cmd})
+	return c.send(Request{V: ProtoVersion, Cmd: cmd})
+}
+
+// Retry policy for Do: attempts are spaced by an exponentially growing
+// backoff starting at doBaseBackoff, doubling up to doMaxAttempts total
+// tries (worst case ~1.5s of waiting), each sleep cancellable through the
+// context.
+const (
+	doMaxAttempts = 6
+	doBaseBackoff = 50 * time.Millisecond
+)
+
+// Do executes one request, absorbing the server's backpressure: a busy
+// rejection (tdb.ErrBusy) or a transport failure triggers a redial and a
+// bounded exponential-backoff retry, honoring ctx between attempts. Use Do
+// rather than Exec when the server may be at its connection cap; like Exec,
+// execution errors arrive in Response.Error, not as a Go error.
+func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
+	if req.V == "" {
+		req.V = ProtoVersion
+	}
+	backoff := doBaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < doMaxAttempts; attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, fmt.Errorf("server: do: %w (last attempt: %w)", ctx.Err(), lastErr)
+			case <-timer.C:
+			}
+			backoff *= 2
+			if err := c.redial(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("server: do: %w", err)
+		}
+		resp, err := c.send(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("server: do: giving up after %d attempts: %w", doMaxAttempts, lastErr)
 }
 
 func (c *Client) send(req Request) (*Response, error) {
@@ -67,8 +135,18 @@ func (c *Client) send(req Request) (*Response, error) {
 	if err := json.Unmarshal(c.r.Bytes(), &resp); err != nil {
 		return nil, fmt.Errorf("server: malformed response: %w", err)
 	}
+	if resp.Code == CodeBusy {
+		// The server closes the connection after a busy rejection; surface
+		// it as the typed sentinel so callers (and Do) can back off.
+		return nil, fmt.Errorf("%w: %s", tdb.ErrBusy, resp.Error)
+	}
 	return &resp, nil
 }
 
 // Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}

@@ -15,4 +15,8 @@ var (
 		"Malformed protocol lines: undecodable JSON or oversized frames.")
 	mSlowTotal = obs.Default.Counter("tdb_server_slow_queries_total",
 		"Commands slower than the server's slow-query threshold.")
+	mBusyTotal = obs.Default.Counter("tdb_server_busy_rejects_total",
+		"Connections rejected with a busy response at the connection cap.")
+	mTimeoutTotal = obs.Default.Counter("tdb_server_idle_timeouts_total",
+		"Connections disconnected by the per-connection read timeout.")
 )

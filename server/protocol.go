@@ -3,28 +3,65 @@
 // its own TQuel session, so range-variable declarations persist for the
 // life of the connection, as in an interactive Quel terminal.
 //
-// Wire format: one JSON object per line in each direction.
+// # Wire contract
 //
-//	-> {"src": "range of f is faculty retrieve (f.rank)"}
-//	<- {"outcomes": [{"stmt": "range", "msg": "..."},
-//	                 {"stmt": "retrieve", "table": "...", "rows": 2}]}
+// One JSON object per line in each direction, strictly request/response:
+//
+//	-> {"v": "1.0", "src": "range of f is faculty retrieve (f.rank)"}
+//	<- {"v": "1.0", "outcomes": [{"stmt": "range", "msg": "..."},
+//	                             {"stmt": "retrieve", "table": "...", "rows": 2}]}
+//
+// Versioning: both sides carry a protocol version "MAJOR.MINOR" in "v".
+// A request whose major version differs from the server's is rejected with
+// code "version"; a request with no "v" at all is treated as the current
+// major (pre-versioning clients). Minor versions are additive: unknown
+// fields are ignored, so a newer minor on either side is harmless.
 //
 // Errors are reported per request: {"error": "tquel: 1:10: ..."}; the
-// connection stays usable.
+// connection stays usable. Structured failures additionally carry "code":
+//
+//	"busy"      — the server is at its connection cap (or draining); the
+//	              connection is closed after this response. Retry later;
+//	              Client.Do does so automatically with backoff.
+//	"version"   — major protocol version mismatch; connection stays open.
+//	"malformed" — the request line was not decodable JSON.
+//
+// A line over 1 MiB in either direction is a protocol violation and the
+// connection is dropped. On shutdown the server stops accepting, lets
+// in-flight requests finish (up to its drain timeout), then closes.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"tdb/internal/qcache"
+)
+
+// ProtoVersion is the protocol version this package speaks, as
+// "MAJOR.MINOR". Majors must match between client and server; minors are
+// additive.
+const ProtoVersion = "1.0"
+
+// Response codes for structured failures (Response.Code).
+const (
+	// CodeBusy marks a rejection at the server's connection cap; the server
+	// closes the connection after sending it.
+	CodeBusy = "busy"
+	// CodeVersion marks a major protocol version mismatch.
+	CodeVersion = "version"
+	// CodeMalformed marks an undecodable request line.
+	CodeMalformed = "malformed"
 )
 
 // Request is one client message: TQuel source to execute, or an admin
 // command when Cmd is set (Src is ignored then). Supported commands:
 // "cache" (report query-cache statistics) and "cache clear" (drop every
-// cached result).
+// cached result). V carries the client's protocol version; empty means
+// a pre-versioning client, accepted as the current major.
 type Request struct {
+	V   string `json:"v,omitempty"`
 	Src string `json:"src"`
 	Cmd string `json:"cmd,omitempty"`
 }
@@ -43,17 +80,34 @@ type Outcome struct {
 
 // Response is one server message.
 type Response struct {
+	// V is the server's protocol version.
+	V        string    `json:"v,omitempty"`
 	Outcomes []Outcome `json:"outcomes,omitempty"`
 	// Cache carries query-cache statistics for the "cache" command.
 	Cache *qcache.Stats `json:"cache,omitempty"`
 	// Error is set when execution failed; outcomes of statements that
 	// succeeded before the failure are still included.
 	Error string `json:"error,omitempty"`
+	// Code classifies structured failures ("busy", "version", "malformed");
+	// empty for execution errors and successes.
+	Code string `json:"code,omitempty"`
 }
 
 // maxLine bounds a single protocol line (1 MiB): statements and rendered
 // tables are small; anything larger is a protocol violation.
 const maxLine = 1 << 20
+
+// protoMajor extracts the major component of a "MAJOR.MINOR" version.
+func protoMajor(v string) string {
+	major, _, _ := strings.Cut(v, ".")
+	return major
+}
+
+// versionOK reports whether a request version is acceptable: empty (legacy
+// client) or the same major as ProtoVersion.
+func versionOK(v string) bool {
+	return v == "" || protoMajor(v) == protoMajor(ProtoVersion)
+}
 
 func encodeLine(v any) ([]byte, error) {
 	b, err := json.Marshal(v)

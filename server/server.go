@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -33,12 +34,37 @@ type Server struct {
 	// before Serve. Leave nil for the zero-overhead path.
 	QueryTracer obs.Tracer
 
+	// MaxConns, when positive, caps concurrently served connections.
+	// Connections over the cap receive a structured "busy" response and are
+	// closed — backpressure the client can see and retry on, instead of an
+	// unbounded accept queue. Set before Serve.
+	MaxConns int
+
+	// ReadTimeout, when positive, bounds how long a connection may sit
+	// without sending a complete request line before it is disconnected
+	// (idle or stalled clients cannot pin a connection slot forever).
+	// Set before Serve.
+	ReadTimeout time.Duration
+
+	// WriteTimeout, when positive, bounds writing one response to a client
+	// that has stopped reading. Set before Serve.
+	WriteTimeout time.Duration
+
+	// DrainTimeout bounds how long Close waits for in-flight requests to
+	// finish before force-closing their connections. Zero means
+	// DefaultDrainTimeout. Set before Serve.
+	DrainTimeout time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 }
+
+// DefaultDrainTimeout is how long Close lets in-flight requests finish when
+// DrainTimeout is unset.
+const DefaultDrainTimeout = 5 * time.Second
 
 // New creates a server over an open database. A nil logger discards
 // diagnostics.
@@ -73,6 +99,16 @@ func (s *Server) Serve(l net.Listener) error {
 			return fmt.Errorf("server: accept: %w", err)
 		}
 		s.mu.Lock()
+		if s.closed || (s.MaxConns > 0 && len(s.conns) >= s.MaxConns) {
+			s.mu.Unlock()
+			mBusyTotal.Inc()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.rejectBusy(conn)
+			}()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -80,6 +116,25 @@ func (s *Server) Serve(l net.Listener) error {
 			defer s.wg.Done()
 			s.handle(conn)
 		}()
+	}
+}
+
+// rejectBusy tells an over-cap client why it is being turned away, then
+// closes the connection. The response is written without waiting for a
+// request: the client sees it on its first read and can back off and retry.
+func (s *Server) rejectBusy(conn net.Conn) {
+	defer conn.Close()
+	out, err := encodeLine(Response{
+		V:     ProtoVersion,
+		Code:  CodeBusy,
+		Error: "server busy: connection limit reached, retry later",
+	})
+	if err != nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write(out); err != nil {
+		s.logger.Printf("rejecting %s: %v", conn.RemoteAddr(), err)
 	}
 }
 
@@ -102,11 +157,12 @@ func (s *Server) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Close stops accepting, closes every live connection, and waits for the
-// handlers to drain. The database itself is not closed; the caller owns it.
-// Close is idempotent, and every call waits for the drain to complete, so
-// a caller racing a concurrent Close still gets the "handlers finished"
-// guarantee on return.
+// Close stops accepting and drains: idle connections are released
+// immediately, in-flight requests get up to DrainTimeout to finish and
+// deliver their responses, then any stragglers are force-closed. The
+// database itself is not closed; the caller owns it. Close is idempotent,
+// and every call waits for the drain to complete, so a caller racing a
+// concurrent Close still gets the "handlers finished" guarantee on return.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -116,16 +172,48 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	l := s.listener
+	drain := s.DrainTimeout
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	// Poke every connection out of a blocked read: handlers parked waiting
+	// for the next request wake immediately and see the shutdown, while a
+	// handler mid-request keeps running to deliver its response.
 	for c := range s.conns {
-		c.Close()
+		c.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
 	var err error
 	if l != nil {
 		err = l.Close()
 	}
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drain):
+		s.mu.Lock()
+		n := len(s.conns)
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		if n > 0 {
+			s.logger.Printf("drain timeout after %s: force-closed %d connections", drain, n)
+		}
+		<-done
+	}
 	return err
+}
+
+// closing reports whether Close has begun.
+func (s *Server) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -145,7 +233,16 @@ func (s *Server) handle(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), maxLine)
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
+	for {
+		if s.closing() {
+			return
+		}
+		if t := s.ReadTimeout; t > 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+		}
+		if !sc.Scan() {
+			break
+		}
 		line := sc.Bytes()
 		if len(strings.TrimSpace(string(line))) == 0 {
 			continue
@@ -156,7 +253,12 @@ func (s *Server) handle(conn net.Conn) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			mMalformedTotal.Inc()
 			s.logger.Printf("malformed request from %s: %v", conn.RemoteAddr(), err)
+			resp.Code = CodeMalformed
 			resp.Error = fmt.Sprintf("malformed request: %v", err)
+		} else if !versionOK(req.V) {
+			resp.Code = CodeVersion
+			resp.Error = fmt.Sprintf("unsupported protocol version %q (server speaks %s)",
+				req.V, ProtoVersion)
 		} else if req.Cmd != "" {
 			resp = s.handleCmd(req.Cmd)
 		} else {
@@ -174,10 +276,14 @@ func (s *Server) handle(conn net.Conn) {
 				resp.Error = err.Error()
 			}
 		}
+		resp.V = ProtoVersion
 		out, err := encodeLine(resp)
 		if err != nil {
 			s.logger.Printf("encoding response: %v", err)
 			return
+		}
+		if t := s.WriteTimeout; t > 0 {
+			conn.SetWriteDeadline(time.Now().Add(t))
 		}
 		if _, err := w.Write(out); err != nil {
 			return
@@ -197,15 +303,22 @@ func (s *Server) handle(conn net.Conn) {
 	// A scanner error here is a protocol violation or transport failure
 	// that forced the disconnect — count and log it rather than dropping it
 	// silently. bufio.ErrTooLong is the malformed-protocol case: a frame
-	// over maxLine.
+	// over maxLine. A deadline pop is either the shutdown poke (quiet) or
+	// the idle timeout disconnecting a stalled client.
 	if err := sc.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
-		if errors.Is(err, bufio.ErrTooLong) {
+		switch {
+		case errors.Is(err, bufio.ErrTooLong):
 			mMalformedTotal.Inc()
 			s.logger.Printf("malformed protocol from %s: %v (disconnecting)",
 				conn.RemoteAddr(), err)
-			return
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			if !s.closing() {
+				mTimeoutTotal.Inc()
+				s.logger.Printf("idle timeout from %s (disconnecting)", conn.RemoteAddr())
+			}
+		default:
+			s.logger.Printf("connection read: %v", err)
 		}
-		s.logger.Printf("connection read: %v", err)
 	}
 }
 

@@ -24,7 +24,7 @@ func (tx *Tx) At() temporal.Chronon { return tx.itx.At() }
 func (tx *Tx) Rel(name string) (*TxRel, error) {
 	rel, err := tx.db.cat.Get(name)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	return &TxRel{tx: tx, rel: rel}, nil
 }
