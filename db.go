@@ -139,9 +139,17 @@ func snapCovers(s wal.Snapshot, scan wal.ReplayResult) (skip int, ok bool) {
 		// The log was truncated by this snapshot's checkpoint; every record
 		// in it postdates the snapshot.
 		return 0, true
-	case scan.Epoch == s.Epoch-1 && scan.Records >= s.Records:
-		// Crash between snapshot install and log truncation: the log still
-		// holds the covered prefix.
+	case scan.Epoch == s.Epoch-1:
+		// Crash between snapshot install and log truncation: the log is the
+		// era the snapshot condensed. Usually it still holds the whole
+		// covered prefix (skip it, replay the rest), but with Sync off the
+		// crash can also have lost un-fsynced tail records, leaving fewer
+		// than the fsynced snapshot covers. The epoch already proves the
+		// pairing, and a same-era log is a prefix of what the snapshot
+		// condensed — so the snapshot covers everything the log still holds.
+		if scan.Records < s.Records {
+			return scan.Records, true
+		}
 		return s.Records, true
 	default:
 		return 0, false
@@ -165,6 +173,10 @@ func (db *DB) recover() error {
 	// repair of any torn tail.
 	scan, err := wal.Replay(db.fs, db.path, true, func(wal.Record) error { return nil })
 	if err != nil {
+		if errors.Is(err, wal.ErrUnknownFormat) {
+			// A legacy or foreign log file; Replay refused to touch it.
+			return fmt.Errorf("%w: %w", ErrCorrupt, err)
+		}
 		return err
 	}
 	if scan.Truncated {

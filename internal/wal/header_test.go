@@ -90,15 +90,25 @@ func TestReplayTornHeader(t *testing.T) {
 			t.Fatalf("cut %d: repair left %d bytes", cut, fi.Size())
 		}
 	}
-	// A bit-flipped header is equally rejected.
+	// A bit-flipped header is not a torn first append (a tear preserves the
+	// bytes before it): Replay refuses with ErrUnknownFormat and must not
+	// mutate the file, even with repair requested — the frames behind the
+	// rotted header may still be salvageable by hand.
 	bad := append([]byte(nil), data...)
 	bad[10] ^= 0x40
 	if err := os.WriteFile(path, bad, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Replay(nil, path, false, func(Record) error { return nil })
-	if err != nil || !res.Truncated || res.HasEpoch || res.Records != 0 {
-		t.Fatalf("corrupt header: %+v, %v", res, err)
+	_, err = Replay(nil, path, true, func(Record) error { return nil })
+	if !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("corrupt header: %v, want ErrUnknownFormat", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(bad) {
+		t.Fatalf("refusing a corrupt header still mutated the file (%d -> %d bytes)", len(bad), len(after))
 	}
 }
 

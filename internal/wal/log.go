@@ -69,6 +69,20 @@ func decodeHeader(data []byte) (uint64, bool) {
 // ErrClosed reports use of a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
+// ErrTorn reports a log disabled by a failed append whose partial write
+// could not be rolled back: frames appended after the torn bytes would sit
+// beyond the tear, where recovery's torn-tail rule silently discards them,
+// so the log refuses further appends until it is truncated or reopened
+// through recovery.
+var ErrTorn = errors.New("wal: log torn by failed append")
+
+// ErrUnknownFormat reports a log file whose leading bytes are neither the
+// current header nor a provably torn first append: a headerless legacy log,
+// a foreign file, or bit rot inside the header. Recovery refuses to touch
+// such a file — truncating it would irreversibly destroy history that an
+// operator (or a migration tool) may still be able to read.
+var ErrUnknownFormat = errors.New("wal: unrecognized log file format")
+
 // Log is an append-only write-ahead log file. All I/O goes through the
 // vfs.FS it was opened with, which is how fault-injection tests reach it.
 type Log struct {
@@ -78,6 +92,7 @@ type Log struct {
 	epoch  uint64
 	sync   bool
 	closed bool
+	failed bool // a torn append could not be rolled back; appends refused
 }
 
 // Options configure a Log.
@@ -120,6 +135,9 @@ func (l *Log) Append(r Record) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.failed {
+		return ErrTorn
+	}
 	payload := EncodeRecord(r)
 	pre := 0
 	if l.size == 0 {
@@ -133,10 +151,22 @@ func (l *Log) Append(r Record) error {
 	binary.BigEndian.PutUint32(frame[pre+4:pre+8], frameCRC(frame[pre:pre+4], payload))
 	copy(frame[pre+frameHeader:], payload)
 	n, err := l.f.Write(frame)
-	l.size += int64(n)
 	if err != nil {
+		// A short write leaves torn bytes after the last good frame.
+		// Appending more frames there would put them beyond the tear, where
+		// recovery's torn-tail rule silently discards them even though their
+		// Append returned nil — so roll the file back to the pre-write size,
+		// or failing that poison the log so nothing lands past the tear.
+		if n > 0 {
+			if terr := l.f.Truncate(l.size); terr != nil {
+				l.failed = true
+			} else if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+				l.failed = true
+			}
+		}
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	l.size += int64(n)
 	mRecords.Inc()
 	mBytes.Add(uint64(len(frame)))
 	if l.sync {
@@ -151,7 +181,9 @@ func (l *Log) Append(r Record) error {
 
 // Truncate discards the log's contents and starts a new epoch: the next
 // append writes a fresh header carrying it. Used after a checkpoint has
-// made the logged history redundant.
+// made the logged history redundant. Truncation removes any torn region a
+// failed append left behind, so it also revives a log that Append had
+// poisoned with ErrTorn.
 func (l *Log) Truncate(epoch uint64) error {
 	if l.closed {
 		return ErrClosed
@@ -167,6 +199,7 @@ func (l *Log) Truncate(epoch uint64) error {
 	}
 	l.size = 0
 	l.epoch = epoch
+	l.failed = false
 	return nil
 }
 
@@ -200,11 +233,35 @@ type ReplayResult struct {
 	HasEpoch bool
 }
 
+// looksLegacy reports whether data begins with a complete, checksum-valid
+// frame in the headerless pre-epoch log format (4-byte length, 4-byte
+// payload-only CRC, payload; no file header). One valid leading frame is
+// proof enough: the current format always starts with the TDBWAL02 header,
+// and random corruption does not pass a CRC-32 plus a record decode. It is
+// how Replay tells a legacy database apart from a torn first append.
+func looksLegacy(data []byte) bool {
+	if len(data) < frameHeader {
+		return false
+	}
+	n := int64(binary.BigEndian.Uint32(data[0:4]))
+	if int64(len(data)) < frameHeader+n {
+		return false
+	}
+	payload := data[frameHeader : frameHeader+int(n)]
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(data[4:8]) {
+		return false
+	}
+	_, err := DecodeRecord(payload)
+	return err == nil
+}
+
 // Replay reads the log at path from the beginning, calling fn for every
 // complete, checksum-valid record in order. When repair is true, a torn or
 // corrupt tail is truncated away so subsequent appends start clean; a file
-// whose header itself is torn is truncated to empty. A missing file
-// replays zero records.
+// provably torn mid-header (shorter than the header, with no legacy frame)
+// is truncated to empty. A file in an unrecognized format — legacy,
+// foreign, or header-rotted — fails with ErrUnknownFormat and is never
+// mutated. A missing file replays zero records.
 func Replay(fsys vfs.FS, path string, repair bool, fn func(Record) error) (ReplayResult, error) {
 	if fsys == nil {
 		fsys = vfs.Default()
@@ -221,7 +278,18 @@ func Replay(fsys vfs.FS, path string, repair bool, fn func(Record) error) (Repla
 	if len(data) > 0 {
 		epoch, ok := decodeHeader(data)
 		if !ok {
-			// Torn or corrupt header: nothing in the file is trustworthy.
+			if int64(len(data)) >= headerLen || looksLegacy(data) {
+				// Not a torn first append: a tear preserves every byte
+				// before it, so a torn current-format file without a valid
+				// header is necessarily shorter than the header itself.
+				// This is a headerless legacy log, a foreign file, or bit
+				// rot inside the header — refuse without mutating, because
+				// truncating would irreversibly destroy the history.
+				return res, fmt.Errorf("%w: %s", ErrUnknownFormat, path)
+			}
+			// Shorter than the header and not a legacy frame: provably a
+			// first append torn mid-header. Nothing in the file was ever
+			// readable, so repair resets it to empty.
 			res.Truncated = true
 			if repair {
 				if err := fsys.Truncate(path, 0); err != nil {

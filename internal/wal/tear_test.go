@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tdb/internal/vfs"
+)
+
+// legacyFrame renders rec in the headerless pre-epoch log format: 4-byte
+// length, 4-byte payload-only CRC, payload — no file header.
+func legacyFrame(rec Record) []byte {
+	payload := EncodeRecord(rec)
+	frame := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeader:], payload)
+	return frame
+}
+
+// A headerless legacy log is recognized and refused — never truncated —
+// even with repair requested. Destroying it would be irreversible data
+// loss for a pre-epoch database opened by the current code.
+func TestReplayRefusesLegacyFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	rec := Record{Commit: 7, Ops: []Op{{Code: OpDrop, Rel: "legacy"}}}
+	legacy := append(legacyFrame(rec), legacyFrame(rec)...)
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Replay(nil, path, true, func(Record) error {
+		t.Fatal("legacy record replayed as current-format")
+		return nil
+	})
+	if !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("legacy replay: %v, want ErrUnknownFormat", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(legacy) {
+		t.Fatalf("legacy file mutated: %d -> %d bytes", len(legacy), len(after))
+	}
+}
+
+// A failed append rolls the file back to the last good frame, so a later
+// append that returns nil is never stranded beyond a tear where recovery
+// would silently discard it.
+func TestAppendShortWriteRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	ffs := vfs.NewFaultFS(vfs.Default())
+	l, err := Open(ffs, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Commit: 1, Ops: []Op{{Code: OpDrop, Rel: "x"}}}
+	if err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	ffs.ShortWriteAt(1)
+	if err := l.Append(rec); err == nil {
+		t.Fatal("short-write append succeeded")
+	}
+	if err := l.Append(rec); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	l.Close()
+	var n int
+	res, err := Replay(nil, path, false, func(Record) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || res.Truncated {
+		t.Fatalf("replay after rollback: n=%d %+v, want 2 records and no tear", n, res)
+	}
+}
+
+// When the rollback itself fails (here the injected crash kills every
+// later operation), the log poisons itself: further appends fail fast
+// with ErrTorn instead of landing beyond the tear. Truncation removes the
+// torn region and revives the log.
+func TestAppendTornPoisonsLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	ffs := vfs.NewFaultFS(vfs.Default())
+	l, err := Open(ffs, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Commit: 1, Ops: []Op{{Code: OpDrop, Rel: "x"}}}
+	if err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	ffs.CrashAfter(1)
+	if err := l.Append(rec); err == nil {
+		t.Fatal("append at crash point succeeded")
+	}
+	if err := l.Append(rec); !errors.Is(err, ErrTorn) {
+		t.Fatalf("append on poisoned log: %v, want ErrTorn", err)
+	}
+	ffs.Reset()
+	if err := l.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec); err != nil {
+		t.Fatalf("append after reviving truncate: %v", err)
+	}
+	l.Close()
+	var n int
+	res, err := Replay(nil, path, false, func(Record) error { n++; return nil })
+	if err != nil || n != 1 || res.Truncated || res.Epoch != 2 {
+		t.Fatalf("replay after revive: n=%d %+v, %v", n, res, err)
+	}
+}

@@ -1,0 +1,126 @@
+package tdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tdb/internal/wal"
+	"tdb/temporal"
+)
+
+// A pre-epoch database (headerless WAL with payload-only frame CRCs) must
+// never be destroyed by recovery: Open fails with ErrCorrupt and the file
+// keeps every byte it had, so a migration tool can still read it.
+func TestOpenRefusesLegacyWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	payload := wal.EncodeRecord(wal.Record{Commit: 1, Ops: []wal.Op{{Code: wal.OpDrop, Rel: "x"}}})
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8],
+		crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	copy(frame[8:], payload)
+	legacy := append(append([]byte(nil), frame...), frame...)
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open legacy wal: %v, want ErrCorrupt", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(legacy) {
+		t.Fatalf("refused open still mutated the legacy wal: %d -> %d bytes",
+			len(legacy), len(after))
+	}
+}
+
+// The epoch-E / epoch-E-1 pairing must also hold when the log lost records
+// the snapshot covers: the snapshot then covers everything the log still
+// holds, and nothing is replayed.
+func TestSnapCoversLostLogTail(t *testing.T) {
+	snap := wal.Snapshot{Epoch: 3, Records: 5}
+	if skip, ok := snapCovers(snap, wal.ReplayResult{HasEpoch: true, Epoch: 2, Records: 3}); !ok || skip != 3 {
+		t.Fatalf("lost tail: skip=%d ok=%v, want 3,true", skip, ok)
+	}
+	if skip, ok := snapCovers(snap, wal.ReplayResult{HasEpoch: true, Epoch: 2, Records: 7}); !ok || skip != 5 {
+		t.Fatalf("surviving tail: skip=%d ok=%v, want 5,true", skip, ok)
+	}
+	if _, ok := snapCovers(snap, wal.ReplayResult{HasEpoch: true, Epoch: 1}); ok {
+		t.Fatal("two-era gap accepted")
+	}
+}
+
+// With Sync off, a crash between snapshot install (fsynced) and log
+// truncation can lose un-fsynced tail records, leaving the log with fewer
+// records than the snapshot covers. The epoch pairing still proves the
+// snapshot consistent, so Open must recover from it — replaying nothing —
+// instead of failing ErrCorrupt.
+func TestRecoveryAcceptsLostTailAfterCheckpointInstall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	db := reopen(t, path)
+	buildMixedDB(t, db)
+	db.Close()
+	// The log as the crash will leave it: a proper prefix of the records
+	// the snapshot below condenses.
+	prefix, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db = reopen(t, path)
+	if err := db.UpdateAt(temporal.Date(1995, 1, 1), func(tx *Tx) error {
+		h, _ := tx.Rel("r_historical")
+		return h.Assert(fac("F", "f"), temporal.Date(1995, 1, 1), temporal.Forever)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := stateDigest(t, db)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Rewind disk to the mid-checkpoint crash: the fsynced snapshot is
+	// installed (covering every era-0 record), the log was never truncated,
+	// and its un-fsynced tail is gone. The checkpoint rotated the covering
+	// snapshot into the fallback slot; put it back as the crash-time
+	// primary.
+	snap, ok, err := wal.ReadSnapshot(nil, path+".snap.prev")
+	if err != nil || !ok {
+		t.Fatalf("prev snapshot: %v %v", ok, err)
+	}
+	if snap.Records == 0 {
+		t.Fatal("prev snapshot covers no records; scenario needs a covering snapshot")
+	}
+	if err := wal.WriteSnapshot(nil, path+".snap", snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path + ".snap.prev"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, prefix, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := reopen(t, path)
+	if got := stateDigest(t, db2); !digestsEqual(before, got) {
+		t.Fatalf("lost-tail recovery differs:\nbefore %v\nafter  %v", before, got)
+	}
+	ri := db2.Stats().Recovery
+	if !ri.SnapshotLoaded || ri.Replayed != 0 {
+		t.Fatalf("recovery info = %+v, want snapshot loaded and nothing replayed", ri)
+	}
+	// Normalization keeps later reopens consistent too.
+	db2.Close()
+	db3 := reopen(t, path)
+	if got := stateDigest(t, db3); !digestsEqual(before, got) {
+		t.Fatal("second reopen differs")
+	}
+}

@@ -317,3 +317,45 @@ func TestReadTimeoutDisconnectsIdle(t *testing.T) {
 		t.Fatal("idle connection still alive after read timeout")
 	}
 }
+
+// A request that was fully delivered but whose response was lost must not
+// be retried: the server may have executed it, and re-sending would
+// double-apply a mutation. Only busy rejections and pre-delivery failures
+// redial.
+func TestClientDoDoesNotRetryLostResponse(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var conns atomic.Int64
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func(conn net.Conn) {
+				// Swallow the request, then drop the connection without
+				// answering: the classic lost-response failure.
+				conn.Read(make([]byte, 4096))
+				conn.Close()
+			}(conn)
+		}
+	}()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Do(ctx, Request{Src: `append to r (x = 1)`}); err == nil {
+		t.Fatal("Do succeeded with no response")
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("client opened %d connections, want 1 (no retry after delivery)", got)
+	}
+}

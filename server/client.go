@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -76,11 +77,18 @@ const (
 	doBaseBackoff = 50 * time.Millisecond
 )
 
-// Do executes one request, absorbing the server's backpressure: a busy
-// rejection (tdb.ErrBusy) or a transport failure triggers a redial and a
-// bounded exponential-backoff retry, honoring ctx between attempts. Use Do
-// rather than Exec when the server may be at its connection cap; like Exec,
-// execution errors arrive in Response.Error, not as a Go error.
+// Do executes one request, absorbing the server's backpressure: a typed
+// busy rejection (tdb.ErrBusy) or a transport failure that provably
+// preceded delivery — a failed dial or redial, an incomplete send — triggers
+// a redial and a bounded exponential-backoff retry, honoring ctx between
+// attempts. A failure after the complete request reached the transport (a
+// response lost on the wire) is returned as an error rather than retried:
+// the server may already have executed the statement, and re-sending a
+// non-idempotent request such as an append could apply it twice. Callers
+// needing at-most-once mutations across such failures must deduplicate at
+// the application level. Use Do rather than Exec when the server may be at
+// its connection cap; like Exec, execution errors arrive in Response.Error,
+// not as a Go error.
 func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 	if req.V == "" {
 		req.V = ProtoVersion
@@ -105,9 +113,15 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("server: do: %w", err)
 		}
-		resp, err := c.send(req)
+		resp, delivered, err := c.sendTracked(req)
 		if err == nil {
 			return resp, nil
+		}
+		if delivered && !errors.Is(err, tdb.ErrBusy) {
+			// The whole request reached the wire but the exchange failed
+			// afterwards; only the server's own busy rejection proves it was
+			// not executed. Anything else must not be blindly re-sent.
+			return nil, fmt.Errorf("server: do: request may have been executed, not retrying: %w", err)
 		}
 		lastErr = err
 	}
@@ -115,32 +129,43 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 }
 
 func (c *Client) send(req Request) (*Response, error) {
+	resp, _, err := c.sendTracked(req)
+	return resp, err
+}
+
+// sendTracked performs one request/response exchange and reports, alongside
+// any error, whether the complete request was handed to the transport. The
+// protocol is newline-delimited and the newline is the request's last byte,
+// so an error before the full line is written proves the server never saw a
+// complete request; once delivered is true, a failure no longer proves the
+// server did not execute it — the distinction Do's retry policy rests on.
+func (c *Client) sendTracked(req Request) (resp *Response, delivered bool, err error) {
 	line, err := encodeLine(req)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if _, err := c.w.Write(line); err != nil {
-		return nil, fmt.Errorf("server: send: %w", err)
+		return nil, false, fmt.Errorf("server: send: %w", err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, fmt.Errorf("server: send: %w", err)
+		return nil, false, fmt.Errorf("server: send: %w", err)
 	}
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
-			return nil, fmt.Errorf("server: receive: %w", err)
+			return nil, true, fmt.Errorf("server: receive: %w", err)
 		}
-		return nil, fmt.Errorf("server: connection closed")
+		return nil, true, fmt.Errorf("server: connection closed")
 	}
-	var resp Response
-	if err := json.Unmarshal(c.r.Bytes(), &resp); err != nil {
-		return nil, fmt.Errorf("server: malformed response: %w", err)
+	var wire Response
+	if err := json.Unmarshal(c.r.Bytes(), &wire); err != nil {
+		return nil, true, fmt.Errorf("server: malformed response: %w", err)
 	}
-	if resp.Code == CodeBusy {
+	if wire.Code == CodeBusy {
 		// The server closes the connection after a busy rejection; surface
 		// it as the typed sentinel so callers (and Do) can back off.
-		return nil, fmt.Errorf("%w: %s", tdb.ErrBusy, resp.Error)
+		return nil, true, fmt.Errorf("%w: %s", tdb.ErrBusy, wire.Error)
 	}
-	return &resp, nil
+	return &wire, true, nil
 }
 
 // Close releases the connection.

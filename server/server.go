@@ -234,11 +234,16 @@ func (s *Server) handle(conn net.Conn) {
 	sc.Buffer(make([]byte, 64*1024), maxLine)
 	w := bufio.NewWriter(conn)
 	for {
-		if s.closing() {
-			return
-		}
+		// Arm the per-request deadline before checking for shutdown, never
+		// after: Close sets closed (under s.mu) before it pokes read
+		// deadlines, so if its poke landed first and the line above just
+		// overwrote it, closing() is already observably true here and the
+		// connection still exits promptly instead of idling to its timeout.
 		if t := s.ReadTimeout; t > 0 {
 			conn.SetReadDeadline(time.Now().Add(t))
+		}
+		if s.closing() {
+			return
 		}
 		if !sc.Scan() {
 			break
