@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nocache test-faults race-recovery figures-check bench bench-smoke bench-json bench-compare
+.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nocache test-faults race-recovery test-repl race-repl figures-check bench bench-smoke bench-json bench-compare
 
-check: fmt vet build race race-parallel race-cache test-noplanner test-nocache test-faults figures-check
+check: fmt vet build race race-parallel race-cache test-noplanner test-nocache test-faults test-repl figures-check
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -66,6 +66,23 @@ race-recovery:
 		-run 'Fault|Crash|Torn|Recovery|Corrupt|Snapshot|Short|Sync' \
 		./internal/vfs ./internal/wal . ./tquel
 
+# The replication suite: read-only open mode, the wire protocol against a
+# live primary+follower pair (cold catch-up, the figure + 60-query
+# differential corpus compared byte-for-byte, kill/restart convergence,
+# checkpoint-epoch re-sync), the per-frame follower crash matrix, and
+# replica-aware pool routing.
+test-repl:
+	$(GO) test -count=1 -run 'Repl|ReadOnly|Follower|Pool|Proto|Stream' \
+		. ./server ./internal/repl
+
+# The replication suite under the race detector: concurrent replica reads
+# against a live apply stream. The crash matrix walks every 3rd fault
+# point (TDB_CRASH_SAMPLE) so the -race pass stays fast.
+race-repl:
+	TDB_CRASH_SAMPLE=3 $(GO) test -race -count=1 \
+		-run 'Repl|ReadOnly|Follower|Pool|Proto|Stream' \
+		. ./server ./internal/repl
+
 # The committed paper figures must match what the code generates.
 figures-check:
 	@$(GO) run ./cmd/figures > /tmp/tdb_figures_gen.txt && \
@@ -87,8 +104,8 @@ bench-smoke:
 # `-bench JoinParallel -cpu 1,2,4` run CI does and EXPERIMENTS.md records.
 bench-json:
 	$(GO) test -run '^$$' -benchmem \
-		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel|BenchmarkAsOfCached' \
-		./tquel | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel|BenchmarkAsOfCached|BenchmarkReplicaCatchup|BenchmarkReadFanout' \
+		./tquel ./server | $(GO) run ./cmd/benchjson > BENCH_PR6.json
 
 # Guard against the committed baseline: exits non-zero when a shared
 # benchmark got more than 1.25x slower (CI runs this warn-only; see ci.yml).

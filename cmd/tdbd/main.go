@@ -6,6 +6,12 @@
 //
 //	tdbd -addr :4791 -db /var/lib/tdb/data.wal -admin :4792
 //
+// With -follow the process becomes a read-only replica: it streams the
+// primary's write-ahead log, applies it continuously, refuses mutations,
+// and reports its lag on /statz (see docs/replication.md):
+//
+//	tdbd -addr :4793 -db /var/lib/tdb/replica.wal -follow 127.0.0.1:4791
+//
 // SIGINT/SIGTERM shut the server down gracefully, draining connections and
 // syncing the write-ahead log. The optional admin endpoint serves
 // /metrics (Prometheus text), /healthz, /statz (JSON snapshot), and
@@ -13,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"log"
@@ -25,6 +32,7 @@ import (
 
 	"tdb"
 	"tdb/internal/obs"
+	"tdb/internal/repl"
 	"tdb/server"
 )
 
@@ -40,6 +48,7 @@ type config struct {
 	readTO   time.Duration
 	writeTO  time.Duration
 	drainTO  time.Duration
+	follow   string
 }
 
 func main() {
@@ -54,6 +63,7 @@ func main() {
 	flag.DurationVar(&cfg.readTO, "read-timeout", 0, "disconnect connections idle this long (0 disables)")
 	flag.DurationVar(&cfg.writeTO, "write-timeout", 30*time.Second, "bound on writing one response (0 disables)")
 	flag.DurationVar(&cfg.drainTO, "drain", server.DefaultDrainTimeout, "how long shutdown waits for in-flight requests")
+	flag.StringVar(&cfg.follow, "follow", "", "primary address to replicate from; this node serves reads only")
 	flag.Parse()
 	logger := log.New(os.Stderr, "tdbd: ", log.LstdFlags)
 
@@ -70,7 +80,10 @@ func main() {
 // bound listener addresses (admin is nil when disabled) once the server is
 // accepting.
 func run(cfg config, logger *log.Logger, sigs <-chan os.Signal, started func(serverAddr, adminAddr net.Addr)) (err error) {
-	db, err := tdb.Open(cfg.dbPath, tdb.Options{Sync: cfg.sync})
+	if cfg.follow != "" && cfg.dbPath == "" {
+		return errors.New("tdbd: -follow requires -db (followers persist the shipped log)")
+	}
+	db, err := tdb.Open(cfg.dbPath, tdb.Options{Sync: cfg.sync, ReadOnly: cfg.follow != ""})
 	if err != nil {
 		return err
 	}
@@ -93,6 +106,20 @@ func run(cfg config, logger *log.Logger, sigs <-chan os.Signal, started func(ser
 		srv.QueryTracer = obs.NewRegistryTracer(obs.Default, "tdb_query")
 	}
 
+	// A follower pulls the primary's stream in the background for the whole
+	// life of the process; reads are served from the continuously applied
+	// local state.
+	var follower *repl.Follower
+	var stopFollower context.CancelFunc
+	if cfg.follow != "" {
+		follower = &repl.Follower{Addr: cfg.follow, Target: db, Logger: logger}
+		var fctx context.Context
+		fctx, stopFollower = context.WithCancel(context.Background())
+		defer stopFollower()
+		go follower.Run(fctx)
+		logger.Printf("following primary at %s", cfg.follow)
+	}
+
 	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -110,7 +137,7 @@ func run(cfg config, logger *log.Logger, sigs <-chan os.Signal, started func(ser
 		admin = &http.Server{Handler: obs.NewAdminMux(obs.Default, obs.AdminOptions{
 			Statz: func() map[string]any {
 				st := db.Stats()
-				return map[string]any{
+				m := map[string]any{
 					"relations":        st.Relations,
 					"versions":         st.Versions,
 					"current_versions": st.CurrentVersions,
@@ -120,6 +147,18 @@ func run(cfg config, logger *log.Logger, sigs <-chan os.Signal, started func(ser
 					"recovery":         st.Recovery,
 					"cache":            db.QueryCache().Stats(),
 				}
+				if follower != nil {
+					m["replication"] = map[string]any{
+						"role":     "follower",
+						"primary":  cfg.follow,
+						"follower": follower.Stats(),
+					}
+				} else if st.ReadOnly {
+					m["replication"] = map[string]any{"role": "follower"}
+				} else {
+					m["replication"] = map[string]any{"role": "primary"}
+				}
+				return m
 			},
 		})}
 		go func() {

@@ -35,6 +35,13 @@ type Options struct {
 	// filesystem — the seam fault-injection tests use. Nil means the
 	// operating system.
 	FS vfs.FS
+	// ReadOnly opens the database as a replication follower: every user
+	// mutation (Update, UpdateAt, CreateRelation, DropRelation,
+	// Checkpoint) fails with ErrReadOnly, and the only write path is the
+	// replication apply surface (ReplReset, ReplApply) a repl.Follower
+	// drives. Queries are unrestricted — a follower at commit-clock T
+	// answers every `as of <= T` query exactly as the primary would.
+	ReadOnly bool
 }
 
 // resolveCacheBytes applies the CacheBytes precedence documented on Options.
@@ -65,6 +72,10 @@ type DB struct {
 	epoch        uint64 // checkpoint era of the current log file
 	closed       bool
 	replay       bool // suppress WAL writes during recovery
+	readOnly     bool // follower: user mutations refused with ErrReadOnly
+	replSkip     int  // leading shipped records the installed snapshot covers
+	clock        temporal.Clock
+	replWatch    chan struct{} // closed+replaced when the log position advances
 	recovery     RecoveryInfo
 	qc           *qcache.Cache
 }
@@ -109,6 +120,9 @@ func Open(path string, opts Options) (*DB, error) {
 		path:         path,
 		snapPath:     path + ".snap",
 		prevSnapPath: path + ".snap.prev",
+		readOnly:     opts.ReadOnly,
+		clock:        opts.Clock,
+		replWatch:    make(chan struct{}),
 		qc:           qcache.New(resolveCacheBytes(opts.CacheBytes)),
 	}
 	if path == "" {
@@ -354,6 +368,11 @@ func (db *DB) Checkpoint() error {
 	if db.closed {
 		return ErrClosed
 	}
+	if db.readOnly {
+		// A follower's epochs belong to its primary: a local checkpoint
+		// would fork the era sequence the stream cursor depends on.
+		return fmt.Errorf("%w: checkpointing is the primary's job", ErrReadOnly)
+	}
 	if db.log == nil {
 		return errors.New("tdb: checkpoint needs a log-backed database")
 	}
@@ -397,7 +416,13 @@ func (db *DB) Checkpoint() error {
 	// primary, so even a primary that rots after this point stays
 	// recoverable.
 	snap.Records = 0
-	return db.installSnapshot(snap)
+	if err := db.installSnapshot(snap); err != nil {
+		return err
+	}
+	// Followers tailing the old era must learn about the rollover now, not
+	// at the next append: their streams re-sync through the new snapshot.
+	db.notifyRepl()
+	return nil
 }
 
 // QueryCache returns the database's shared query result cache; nil-safe to
@@ -443,6 +468,9 @@ func (db *DB) create(name string, kind Kind, event bool, sch *Schema) (*Relation
 	if db.closed {
 		return nil, ErrClosed
 	}
+	if db.readOnly {
+		return nil, fmt.Errorf("%w: create %q", ErrReadOnly, name)
+	}
 	rel, err := db.cat.Create(name, kind, event, sch)
 	if err != nil {
 		return nil, wrapErr(err)
@@ -470,6 +498,9 @@ func (db *DB) DropRelation(name string) error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	if db.readOnly {
+		return fmt.Errorf("%w: drop %q", ErrReadOnly, name)
 	}
 	if err := db.cat.Drop(name); err != nil {
 		return wrapErr(err)
@@ -530,6 +561,9 @@ type Stats struct {
 	// Recovery reports what Open's recovery pass found and repaired; zero
 	// for in-memory databases.
 	Recovery RecoveryInfo
+	// ReadOnly reports follower mode: the database only advances by
+	// applying its primary's replication stream.
+	ReadOnly bool
 }
 
 // Stats returns a snapshot of database-wide counters.
@@ -542,6 +576,7 @@ func (db *DB) Stats() Stats {
 		LastCommit: db.mgr.Clock().Last(),
 		Epoch:      db.epoch,
 		Recovery:   db.recovery,
+		ReadOnly:   db.readOnly,
 	}
 	for _, name := range db.cat.Names() {
 		rel, err := db.cat.Get(name)
@@ -579,6 +614,9 @@ func (db *DB) update(at *temporal.Chronon, fn func(tx *Tx) error) error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	if db.readOnly {
+		return fmt.Errorf("%w: update", ErrReadOnly)
 	}
 	var rec *wal.Record
 	wrap := func(itx *txn.Tx) error {
@@ -618,6 +656,7 @@ func (db *DB) logRecord(rec wal.Record) error {
 		return err
 	}
 	db.walRecords++
+	db.notifyRepl()
 	return nil
 }
 

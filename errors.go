@@ -41,6 +41,10 @@ var (
 	ErrNoRollback = errors.New("tdb: relation kind does not support rollback (as of)")
 	// ErrNoValidTime reports a valid-time query on a kind without it.
 	ErrNoValidTime = errors.New("tdb: relation kind does not support historical queries")
+	// ErrReadOnly reports a mutation against a database opened as a
+	// replication follower (Options.ReadOnly). Followers advance only by
+	// applying their primary's stream; route writes to the primary.
+	ErrReadOnly = errors.New("tdb: database is read-only (replication follower)")
 )
 
 // Deprecated aliases kept for source compatibility with earlier releases.

@@ -1,0 +1,356 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"tdb/internal/wal"
+	"tdb/temporal"
+)
+
+// Target is the follower-side surface Run applies a stream onto. *tdb.DB
+// opened with Options.ReadOnly implements it: the replication apply path
+// is the one write path a read-only database accepts.
+type Target interface {
+	// ReplCursor returns the locally durable position: the era of the
+	// local log and its size in bytes. It is the resume cursor sent in the
+	// handshake after a restart or reconnect.
+	ReplCursor() (epoch uint64, size int64)
+	// ReplReset wipes local state and installs the snapshot (nil means
+	// "start empty"), leaving the local log empty at the given era.
+	ReplReset(epoch uint64, snap []byte) error
+	// ReplApply lands one verified byte window: raw is appended to the
+	// local log verbatim and recs — the records those bytes frame — are
+	// applied to the in-memory state.
+	ReplApply(epoch uint64, raw []byte, recs []wal.Record) error
+	// LastCommit reports the applied commit clock, for lag accounting.
+	LastCommit() temporal.Chronon
+}
+
+// FollowerStats is a point-in-time snapshot of one follower's progress,
+// surfaced by tdbd's /statz replication section.
+type FollowerStats struct {
+	// Connected reports a live stream to the primary.
+	Connected bool `json:"connected"`
+	// Epoch and Offset are the locally durable cursor.
+	Epoch  uint64 `json:"epoch"`
+	Offset int64  `json:"offset"`
+	// PrimaryOffset and PrimaryCommit are the primary's position from its
+	// last frames message or heartbeat; lag is the difference to the
+	// local cursor and applied commit.
+	PrimaryOffset int64            `json:"primary_offset"`
+	PrimaryCommit temporal.Chronon `json:"primary_commit"`
+	// AppliedCommit is the follower's commit clock after the last apply.
+	AppliedCommit temporal.Chronon `json:"applied_commit"`
+	// RecordsApplied counts WAL records applied since Run started.
+	RecordsApplied uint64 `json:"records_applied"`
+	// SnapshotsInstalled counts epoch re-syncs (resets) performed.
+	SnapshotsInstalled uint64 `json:"snapshots_installed"`
+	// Reconnects counts stream teardowns that led to a new dial.
+	Reconnects uint64 `json:"reconnects"`
+	// LastError is the most recent stream failure, empty once a stream is
+	// healthy again.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Follower maintains a replication stream from a primary onto a Target,
+// reconnecting with bounded exponential backoff and re-syncing through the
+// epoch protocol after any torn stream. Configure the fields before Run;
+// Stats may be called concurrently with Run.
+type Follower struct {
+	// Addr is the primary's server address.
+	Addr string
+	// Target receives the stream; normally a read-only *tdb.DB.
+	Target Target
+	// Logger receives connection lifecycle diagnostics; nil discards.
+	Logger *log.Logger
+	// DialTimeout bounds connection establishment. Zero means 5s.
+	DialTimeout time.Duration
+	// IdleTimeout is how long a stream may stay silent before the
+	// follower declares it dead and reconnects. It must comfortably
+	// exceed the primary's heartbeat interval. Zero means 15s.
+	IdleTimeout time.Duration
+	// MinBackoff and MaxBackoff bound the reconnect backoff. Zero means
+	// 100ms and 5s.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+
+	statsMu sync.Mutex
+	st      FollowerStats
+}
+
+// Run connects and applies the stream until ctx is cancelled, redialing
+// with backoff on any failure. It returns ctx.Err() — stream failures are
+// retried, not returned.
+func (f *Follower) Run(ctx context.Context) error {
+	logger := f.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	minB, maxB := f.MinBackoff, f.MaxBackoff
+	if minB <= 0 {
+		minB = 100 * time.Millisecond
+	}
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	backoff := minB
+	for {
+		err := f.stream(ctx, logger)
+		mFollowerConnected.Set(0)
+		f.update(func(s *FollowerStats) {
+			s.Connected = false
+			if err != nil {
+				s.LastError = err.Error()
+			}
+		})
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			logger.Printf("repl: stream to %s failed: %v (reconnecting in %s)", f.Addr, err, backoff)
+		} else {
+			logger.Printf("repl: stream to %s closed (reconnecting in %s)", f.Addr, backoff)
+		}
+		mFollowerReconnects.Inc()
+		f.update(func(s *FollowerStats) { s.Reconnects++ })
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > maxB {
+			backoff = maxB
+		}
+	}
+}
+
+// Stats returns a snapshot of the follower's progress.
+func (f *Follower) Stats() FollowerStats {
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
+	return f.st
+}
+
+func (f *Follower) update(fn func(*FollowerStats)) {
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
+	fn(&f.st)
+}
+
+// stream runs one connection: handshake at the durable cursor, then apply
+// messages until the stream breaks, idles out, or ctx ends.
+func (f *Follower) stream(ctx context.Context, logger *log.Logger) error {
+	dialTO := f.DialTimeout
+	if dialTO <= 0 {
+		dialTO = 5 * time.Second
+	}
+	idleTO := f.IdleTimeout
+	if idleTO <= 0 {
+		idleTO = 15 * time.Second
+	}
+	d := net.Dialer{Timeout: dialTO}
+	conn, err := d.DialContext(ctx, "tcp", f.Addr)
+	if err != nil {
+		return fmt.Errorf("repl: dial %s: %w", f.Addr, err)
+	}
+	defer conn.Close()
+	// Unblock the read loop when ctx ends mid-stream.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	epoch, size := f.Target.ReplCursor()
+	hs, err := json.Marshal(Handshake{V: WireVersion, Cmd: "repl", Epoch: epoch, Offset: size})
+	if err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Now().Add(dialTO))
+	if _, err := conn.Write(append(hs, '\n')); err != nil {
+		return fmt.Errorf("repl: handshake: %w", err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	logger.Printf("repl: streaming from %s at epoch %d offset %d", f.Addr, epoch, size)
+	f.update(func(s *FollowerStats) { s.Epoch, s.Offset = epoch, size })
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), maxStreamLine)
+	st := applyState{f: f, epoch: epoch, durable: size}
+	first := true
+	for {
+		conn.SetReadDeadline(time.Now().Add(idleTO))
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return fmt.Errorf("repl: stream read: %w", err)
+			}
+			return errors.New("repl: primary closed the stream")
+		}
+		var m Msg
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return fmt.Errorf("repl: malformed stream message: %w", err)
+		}
+		if first {
+			first = false
+			mFollowerConnected.Set(1)
+			f.update(func(s *FollowerStats) { s.Connected, s.LastError = true, "" })
+		}
+		if err := st.handle(m); err != nil {
+			return err
+		}
+	}
+}
+
+// maxStreamLine bounds one stream message line, matching the server
+// protocol's limit.
+const maxStreamLine = 1 << 20
+
+// applyState is the per-connection stream state machine: snapshot
+// collection during a re-sync, then byte-buffered frame application.
+type applyState struct {
+	f       *Follower
+	epoch   uint64
+	durable int64  // locally durable bytes of this epoch's log
+	pending []byte // received bytes not yet forming complete frames
+
+	inSnap    bool
+	snapEpoch uint64
+	snapBuf   []byte
+}
+
+func (a *applyState) handle(m Msg) error {
+	switch m.T {
+	case MsgReset:
+		a.inSnap, a.snapEpoch, a.snapBuf = true, m.Epoch, nil
+		a.pending = nil
+		return nil
+	case MsgSnap:
+		if !a.inSnap {
+			return errors.New("repl: snapshot chunk outside a reset")
+		}
+		a.snapBuf = append(a.snapBuf, m.Data...)
+		if !m.Last {
+			return nil
+		}
+		a.inSnap = false
+		if err := a.f.Target.ReplReset(a.snapEpoch, a.snapBuf); err != nil {
+			return fmt.Errorf("repl: installing snapshot: %w", err)
+		}
+		mFollowerResets.Inc()
+		a.epoch, a.durable, a.pending, a.snapBuf = a.snapEpoch, 0, nil, nil
+		a.f.update(func(s *FollowerStats) {
+			s.SnapshotsInstalled++
+			s.Epoch, s.Offset = a.epoch, 0
+			s.AppliedCommit = a.f.Target.LastCommit()
+		})
+		return nil
+	case MsgFrames:
+		if a.inSnap {
+			return errors.New("repl: frames inside a snapshot transfer")
+		}
+		if m.Epoch != a.epoch {
+			return fmt.Errorf("repl: frames for epoch %d while at epoch %d", m.Epoch, a.epoch)
+		}
+		if want := a.durable + int64(len(a.pending)); m.Offset != want {
+			return fmt.Errorf("repl: frames at offset %d, want %d", m.Offset, want)
+		}
+		a.pending = append(a.pending, m.Data...)
+		if err := a.apply(); err != nil {
+			return err
+		}
+		a.observePrimary(m.Offset+int64(len(m.Data)), m.Commit)
+		return nil
+	case MsgHeartbeat:
+		if m.Epoch == a.epoch {
+			a.observePrimary(m.Offset, m.Commit)
+		}
+		return nil
+	case MsgError:
+		return fmt.Errorf("repl: primary refused the stream: %s", m.Err)
+	default:
+		return fmt.Errorf("repl: unknown stream message %q", m.T)
+	}
+}
+
+// apply lands every complete frame buffered so far: the log header first
+// when this era's log is still empty, then CRC-verified frames. Partial
+// trailing bytes stay pending until the next window completes them.
+func (a *applyState) apply() error {
+	headerBytes := 0
+	if a.durable == 0 {
+		if len(a.pending) < wal.HeaderLen {
+			return nil
+		}
+		epoch, ok := wal.DecodeHeader(a.pending)
+		if !ok {
+			return errors.New("repl: shipped log header failed verification")
+		}
+		if epoch != a.epoch {
+			return fmt.Errorf("repl: shipped log header carries epoch %d, want %d", epoch, a.epoch)
+		}
+		headerBytes = wal.HeaderLen
+	}
+	var recs []wal.Record
+	consumed, err := wal.ScanFrames(a.pending[headerBytes:], func(r wal.Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	total := headerBytes + consumed
+	if total == 0 {
+		return nil
+	}
+	if err := a.f.Target.ReplApply(a.epoch, a.pending[:total], recs); err != nil {
+		return fmt.Errorf("repl: applying %d records: %w", len(recs), err)
+	}
+	a.pending = append([]byte(nil), a.pending[total:]...)
+	a.durable += int64(total)
+	mFollowerBytes.Add(uint64(total))
+	mFollowerRecords.Add(uint64(len(recs)))
+	a.f.update(func(s *FollowerStats) {
+		s.Offset = a.durable
+		s.Epoch = a.epoch
+		s.RecordsApplied += uint64(len(recs))
+		s.AppliedCommit = a.f.Target.LastCommit()
+	})
+	return nil
+}
+
+// observePrimary records the primary's reported position and updates the
+// lag gauges.
+func (a *applyState) observePrimary(size int64, commit temporal.Chronon) {
+	applied := a.f.Target.LastCommit()
+	lagBytes := size - a.durable
+	if lagBytes < 0 {
+		lagBytes = 0
+	}
+	lagCommits := int64(commit) - int64(applied)
+	if lagCommits < 0 {
+		lagCommits = 0
+	}
+	mFollowerLagBytes.Set(lagBytes)
+	mFollowerLagCommits.Set(lagCommits)
+	a.f.update(func(s *FollowerStats) {
+		s.PrimaryOffset = size
+		if commit != 0 {
+			s.PrimaryCommit = commit
+		}
+		s.AppliedCommit = applied
+	})
+}

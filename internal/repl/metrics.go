@@ -1,0 +1,38 @@
+package repl
+
+import "tdb/internal/obs"
+
+var ns = obs.Default.Namespace("tdb_repl")
+
+// Primary-side stream metrics.
+var (
+	mStreamsOpen = ns.Gauge("streams_open",
+		"Replication streams currently being served by this primary.")
+	mStreamsTotal = ns.Counter("streams_total",
+		"Replication streams accepted since process start.")
+	mShippedBytes = ns.Counter("shipped_bytes_total",
+		"Raw log bytes shipped to followers (before base64 framing).")
+	mSnapshotsServed = ns.Counter("snapshots_served_total",
+		"Snapshot re-syncs served: follower cursors that required a reset.")
+	mHeartbeats = ns.Counter("heartbeats_total",
+		"Idle-feed heartbeats sent across all streams.")
+)
+
+// Follower-side metrics. A process normally runs one follower, so these
+// are process-wide; Follower.Stats carries the same numbers per instance.
+var (
+	mFollowerConnected = ns.Gauge("follower_connected",
+		"1 while the follower holds a live stream to its primary, else 0.")
+	mFollowerLagBytes = ns.Gauge("follower_lag_bytes",
+		"Primary log size minus locally durable bytes, from the last position report.")
+	mFollowerLagCommits = ns.Gauge("follower_lag_commits",
+		"Primary commit clock minus the follower's applied commit clock.")
+	mFollowerRecords = ns.Counter("follower_records_applied_total",
+		"WAL records applied by the follower.")
+	mFollowerBytes = ns.Counter("follower_bytes_total",
+		"Raw log bytes received and durably applied by the follower.")
+	mFollowerResets = ns.Counter("follower_resets_total",
+		"Snapshot installs: streams that began with an epoch re-sync.")
+	mFollowerReconnects = ns.Counter("follower_reconnects_total",
+		"Stream teardowns that led to a reconnect attempt.")
+)

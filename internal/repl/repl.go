@@ -1,0 +1,103 @@
+// Package repl implements WAL-shipping replication: a primary streams its
+// durability state — an initial checkpoint snapshot plus a live feed of
+// CRC-framed write-ahead-log bytes — to read-only followers over the
+// server's newline-delimited JSON protocol.
+//
+// The design leans on the taxonomy's central property: transaction time is
+// append-only, so a follower is never stale-wrong, only bounded-behind. A
+// follower at commit-clock T answers every `as of <= T` query exactly as
+// the primary would, and catching up is purely additive.
+//
+// # Cursor
+//
+// Replication position is the pair (epoch, offset): the checkpoint era of
+// the primary's log and a byte offset into that era's log file, header
+// included. Because followers land shipped bytes verbatim (wal.AppendRaw),
+// a follower's local log is byte-identical to the primary's prefix and its
+// own file size is its resume cursor — no separate cursor state to persist
+// or to desynchronize.
+//
+// # Epoch re-sync
+//
+// A checkpoint on the primary truncates the log and bumps the epoch, which
+// invalidates every follower cursor at the previous era. The stream
+// handles it in-band: when the follower's cursor does not name the
+// primary's current (epoch, <=size), the primary sends a reset carrying
+// the new epoch, ships the current snapshot in chunks, and restarts the
+// frame feed from offset zero. Followers install the snapshot atomically
+// and continue; a torn stream at any point is re-synced the same way on
+// reconnect.
+//
+// # Liveness
+//
+// Replication connections are exempt from the server's per-command read
+// deadline (a healthy follower is mostly silent). Liveness is heartbeat
+// based instead: the primary emits a position report on an interval
+// whenever the feed is idle, and the follower treats a quiet interval of
+// several heartbeats as a dead peer and reconnects with backoff.
+package repl
+
+import "tdb/temporal"
+
+// WireVersion is the protocol version replication requires: the "repl"
+// command and the stream message vocabulary arrived in minor version 1 of
+// protocol major 1. The server's advertised version must be at least this;
+// a lock-step test in package server keeps the two constants equal.
+const WireVersion = "1.1"
+
+// Message kinds carried in Msg.T. One JSON object per line, primary to
+// follower only; after the handshake the follower never writes.
+const (
+	// MsgReset tells the follower its state is not a prefix of the
+	// primary's current era: wipe, install the snapshot chunks that
+	// follow, and expect frames from offset zero of Msg.Epoch.
+	MsgReset = "reset"
+	// MsgSnap carries one chunk of the encoded checkpoint snapshot; the
+	// chunk with Last set completes it (a Last chunk with no bytes at all
+	// means the primary has no snapshot — the follower starts empty).
+	MsgSnap = "snap"
+	// MsgFrames carries a byte window of the primary's log file: Offset is
+	// the file offset of the first byte, Data the raw header/frame bytes.
+	MsgFrames = "frames"
+	// MsgHeartbeat reports the primary's position while the feed is idle,
+	// keeping the connection observably alive and lag measurable.
+	MsgHeartbeat = "hb"
+	// MsgError reports why the primary is abandoning the stream; the
+	// connection closes after it.
+	MsgError = "error"
+)
+
+// Handshake is the follower's single request line, matching the server
+// protocol's Request shape ({"v":..., "cmd":"repl", ...}) without
+// importing it — package server imports repl, not the reverse.
+type Handshake struct {
+	V      string `json:"v"`
+	Cmd    string `json:"cmd"`
+	Epoch  uint64 `json:"epoch"`
+	Offset int64  `json:"offset"`
+}
+
+// Msg is one stream message from primary to follower. Data rides as JSON
+// base64; chunks are bounded by ChunkBytes so an encoded line stays well
+// under the protocol's line limit.
+type Msg struct {
+	T      string           `json:"repl"`
+	Epoch  uint64           `json:"epoch,omitempty"`
+	Offset int64            `json:"offset,omitempty"`
+	Commit temporal.Chronon `json:"commit,omitempty"`
+	Data   []byte           `json:"data,omitempty"`
+	Last   bool             `json:"last,omitempty"`
+	Err    string           `json:"error,omitempty"`
+}
+
+// Cursor is a replication position: a checkpoint era and a byte offset
+// into that era's log file.
+type Cursor struct {
+	Epoch  uint64
+	Offset int64
+}
+
+// ChunkBytes bounds the raw payload of one snapshot or frame message.
+// Base64 expands it 4/3x and JSON framing adds a little more, keeping an
+// encoded line comfortably inside the server's 1 MiB line limit.
+const ChunkBytes = 256 << 10

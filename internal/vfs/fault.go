@@ -233,6 +233,14 @@ func (f *faultFile) Write(p []byte) (int, error) {
 	return f.inner.Write(p)
 }
 
+// Read passes through (not a mutating operation), but a crashed file fails.
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.dead(); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
 // Seek passes through (not a mutating operation), but a crashed file fails.
 func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
 	if err := f.fs.dead(); err != nil {

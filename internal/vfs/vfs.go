@@ -13,12 +13,14 @@ import (
 )
 
 // File is an open file handle. The storage layer appends, syncs, seeks,
-// and truncates; it never memory-maps or reads through the handle (whole-
-// file reads go through FS.ReadFile).
+// and truncates; whole-file reads go through FS.ReadFile, while ranged
+// reads (replication shipping byte windows of the log) use Seek + Read.
 type File interface {
 	// Write appends len(p) bytes at the current offset. Implementations
 	// follow os.File: n < len(p) only with a non-nil error.
 	Write(p []byte) (n int, err error)
+	// Read reads up to len(p) bytes at the current offset, as io.Reader.
+	Read(p []byte) (n int, err error)
 	// Seek repositions the offset as io.Seeker does.
 	Seek(offset int64, whence int) (int64, error)
 	// Truncate changes the file size without moving the offset.

@@ -33,6 +33,15 @@ const (
 	headerLen   = 20
 )
 
+// HeaderLen is the size of the log file header in bytes, exported for the
+// replication subsystem: a follower receiving a log byte stream from offset
+// zero must strip and verify the header before the first frame.
+const HeaderLen = headerLen
+
+// FrameOverhead is the per-record framing cost (length + CRC), exported so
+// replication can reason about frame boundaries in a shipped byte stream.
+const FrameOverhead = frameHeader
+
 var logMagic = []byte("TDBWAL02")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -51,6 +60,16 @@ func encodeHeader(epoch uint64) []byte {
 	binary.BigEndian.PutUint32(h[16:20], crc32.Checksum(h[:16], crcTable))
 	return h
 }
+
+// EncodeHeader renders the log file header for an epoch — what the first
+// append into an empty log writes, exported for replication tests and
+// tooling that fabricate log byte streams.
+func EncodeHeader(epoch uint64) []byte { return encodeHeader(epoch) }
+
+// DecodeHeader validates a log file header, returning its epoch. It is the
+// check a replication follower runs on the first HeaderLen bytes of a
+// shipped log stream before trusting any frame that follows.
+func DecodeHeader(data []byte) (uint64, bool) { return decodeHeader(data) }
 
 // decodeHeader validates a log file header, returning its epoch.
 func decodeHeader(data []byte) (uint64, bool) {
@@ -177,6 +196,88 @@ func (l *Log) Append(r Record) error {
 		mFsync.ObserveSince(start)
 	}
 	return nil
+}
+
+// Size returns the log's current end offset in bytes (header included once
+// the first frame has been written). It is the replication cursor: a
+// follower whose local log holds Size bytes of epoch E resumes streaming
+// from exactly (E, Size). The caller must serialize Size against Append,
+// AppendRaw, and Truncate, as the database's mutex already does.
+func (l *Log) Size() int64 { return l.size }
+
+// AppendRaw writes raw bytes to the log verbatim, without framing them.
+// It is the replication apply path: a follower receives byte windows of
+// the primary's log — header and CRC-framed records exactly as written —
+// and lands them locally so the two files stay byte-identical and byte
+// offsets remain a shared cursor. The caller has already verified the
+// bytes (header epoch and per-frame CRCs); a torn write is rolled back or
+// poisons the log exactly as Append does.
+func (l *Log) AppendRaw(raw []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed {
+		return ErrTorn
+	}
+	n, err := l.f.Write(raw)
+	if err != nil {
+		if n > 0 {
+			if terr := l.f.Truncate(l.size); terr != nil {
+				l.failed = true
+			} else if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+				l.failed = true
+			}
+		}
+		return fmt.Errorf("wal: append raw: %w", err)
+	}
+	l.size += int64(n)
+	mBytes.Add(uint64(len(raw)))
+	if l.sync {
+		start := time.Now()
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		mFsync.ObserveSince(start)
+	}
+	return nil
+}
+
+// ErrFrameCorrupt reports a byte stream whose next frame fails its CRC or
+// does not decode as a record. A file tail in this state is a torn write;
+// a replication stream in this state is corruption in transit, and the
+// follower must drop the connection and re-sync rather than apply it.
+var ErrFrameCorrupt = errors.New("wal: corrupt frame in stream")
+
+// ScanFrames parses complete CRC-framed records from the front of buf —
+// the in-memory equivalent of Replay over a shipped byte window. It stops
+// cleanly at an incomplete trailing frame (consumed reports how many bytes
+// form whole verified frames; the caller keeps the remainder buffered) and
+// fails with ErrFrameCorrupt when a complete frame fails its checksum or
+// record decode. buf must start at a frame boundary: strip the file header
+// with DecodeHeader first when scanning from offset zero.
+func ScanFrames(buf []byte, fn func(Record) error) (consumed int, err error) {
+	for {
+		rest := buf[consumed:]
+		if len(rest) < frameHeader {
+			return consumed, nil
+		}
+		n := int64(binary.BigEndian.Uint32(rest[0:4]))
+		if int64(len(rest)) < int64(frameHeader)+n {
+			return consumed, nil
+		}
+		payload := rest[frameHeader : int64(frameHeader)+n]
+		if frameCRC(rest[0:4], payload) != binary.BigEndian.Uint32(rest[4:8]) {
+			return consumed, fmt.Errorf("%w: checksum mismatch at stream offset %d", ErrFrameCorrupt, consumed)
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return consumed, fmt.Errorf("%w: %v", ErrFrameCorrupt, err)
+		}
+		if err := fn(rec); err != nil {
+			return consumed, err
+		}
+		consumed += frameHeader + int(n)
+	}
 }
 
 // Truncate discards the log's contents and starts a new epoch: the next

@@ -14,3 +14,10 @@ var (
 	mRecoveryFailed = obs.Default.Counter("tdb_recovery_failures_total",
 		"Open calls that failed because recovery could not prove the durable state consistent.")
 )
+
+var (
+	mReplResets = obs.Default.Counter("tdb_repl_db_resets_total",
+		"Follower state wipes that installed a shipped snapshot (epoch re-syncs).")
+	mReplApplied = obs.Default.Counter("tdb_repl_db_records_total",
+		"WAL records landed through the replication apply path.")
+)

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PoolOptions configure replica-aware routing.
+type PoolOptions struct {
+	// MaxLag bounds replica staleness in chronons: a replica's answer is
+	// accepted when the commit stamp it carries is within MaxLag of the
+	// highest commit the pool has observed from any member; otherwise the
+	// read is re-run on the primary. 0 demands exact freshness — the
+	// replica must have applied everything the pool has seen committed.
+	// Negative disables the bound (any replica answer is accepted).
+	MaxLag int64
+	// DialTimeout bounds connection establishment per member. Zero means
+	// 10s.
+	DialTimeout time.Duration
+}
+
+// PoolStats counts routing decisions, for monitoring and tests.
+type PoolStats struct {
+	// Reads is the number of read statements routed (anywhere).
+	Reads uint64
+	// ReplicaReads counts reads answered by a replica within the staleness
+	// bound.
+	ReplicaReads uint64
+	// StaleFallbacks counts reads a replica answered too far behind, re-run
+	// on the primary.
+	StaleFallbacks uint64
+	// ErrorFallbacks counts reads re-routed to the primary after a replica
+	// transport failure or read-only rejection.
+	ErrorFallbacks uint64
+	// Writes counts statements routed to the primary because they mutate.
+	Writes uint64
+}
+
+// Pool fans reads out across a primary and its read-only followers while
+// sending every write to the primary. Because replication ships the
+// transaction-time log, a follower is never wrong, only behind: its answer
+// is exact for the state as of the commit stamp it returns. The pool turns
+// that into a freshness contract — replica answers older than MaxLag
+// chronons behind the newest commit the pool has witnessed are discarded
+// and the read re-runs on the primary.
+//
+// Range-variable declarations are session state on each server connection,
+// so the pool broadcasts them to every member; reads then work anywhere.
+// Pool is safe for concurrent use.
+type Pool struct {
+	opts     PoolOptions
+	primary  *poolConn
+	replicas []*poolConn
+
+	rr        atomic.Uint64 // round-robin cursor over replicas
+	highWater atomic.Int64  // newest commit chronon seen from any member
+
+	statsMu sync.Mutex
+	stats   PoolStats
+}
+
+// poolConn serializes one Client: the wire protocol is strictly
+// request/response per connection.
+type poolConn struct {
+	mu   sync.Mutex
+	c    *Client
+	addr string
+}
+
+func (pc *poolConn) do(ctx context.Context, req Request) (*Response, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.c.Do(ctx, req)
+}
+
+// NewPool dials the primary and every replica. An empty replica list is
+// valid: the pool degenerates to a serialized client on the primary.
+func NewPool(primary string, replicas []string, opts PoolOptions) (*Pool, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	p := &Pool{opts: opts}
+	pc, err := DialTimeout(primary, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("server: pool primary: %w", err)
+	}
+	p.primary = &poolConn{c: pc, addr: primary}
+	for _, addr := range replicas {
+		rc, err := DialTimeout(addr, opts.DialTimeout)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("server: pool replica %s: %w", addr, err)
+		}
+		p.replicas = append(p.replicas, &poolConn{c: rc, addr: addr})
+	}
+	return p, nil
+}
+
+// Exec routes one TQuel statement batch: mutations to the primary, reads
+// to a replica under the staleness bound (primary when no replica
+// qualifies), range declarations to every member. Like Client.Exec,
+// execution errors arrive in Response.Error, not as a Go error.
+func (p *Pool) Exec(ctx context.Context, src string) (*Response, error) {
+	req := Request{V: ProtoVersion, Src: src}
+	switch classify(src) {
+	case stmtDeclaration:
+		return p.broadcast(ctx, req)
+	case stmtRead:
+		return p.read(ctx, req)
+	default:
+		p.bump(func(s *PoolStats) { s.Writes++ })
+		return p.doObserved(ctx, p.primary, req)
+	}
+}
+
+// Stats returns a snapshot of the pool's routing counters.
+func (p *Pool) Stats() PoolStats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.stats
+}
+
+// Close releases every member connection.
+func (p *Pool) Close() error {
+	var first error
+	if p.primary != nil {
+		first = p.primary.c.Close()
+	}
+	for _, r := range p.replicas {
+		if err := r.c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// read answers one read statement, preferring a replica.
+func (p *Pool) read(ctx context.Context, req Request) (*Response, error) {
+	p.bump(func(s *PoolStats) { s.Reads++ })
+	if len(p.replicas) == 0 {
+		return p.doObserved(ctx, p.primary, req)
+	}
+	rc := p.replicas[p.rr.Add(1)%uint64(len(p.replicas))]
+	resp, err := rc.do(ctx, req)
+	if err != nil || resp.Code == CodeReadOnly {
+		// Transport trouble or a statement the classifier thought was a
+		// read but the follower refused: the primary settles both.
+		mPoolErrorFallbacks.Inc()
+		p.bump(func(s *PoolStats) { s.ErrorFallbacks++ })
+		return p.doObserved(ctx, p.primary, req)
+	}
+	p.observe(resp)
+	if p.tooStale(resp) {
+		mPoolStaleFallbacks.Inc()
+		p.bump(func(s *PoolStats) { s.StaleFallbacks++ })
+		return p.doObserved(ctx, p.primary, req)
+	}
+	mPoolReplicaReads.Inc()
+	p.bump(func(s *PoolStats) { s.ReplicaReads++ })
+	return resp, nil
+}
+
+// broadcast runs a declaration on the primary and every replica, returning
+// the primary's response. A replica that cannot take the declaration is
+// dropped from fan-out implicitly: its future reads fail and fall back.
+func (p *Pool) broadcast(ctx context.Context, req Request) (*Response, error) {
+	resp, err := p.doObserved(ctx, p.primary, req)
+	if err != nil {
+		return nil, err
+	}
+	for _, rc := range p.replicas {
+		if r2, err2 := rc.do(ctx, req); err2 == nil {
+			p.observe(r2)
+		}
+	}
+	return resp, nil
+}
+
+// doObserved runs a request on one member and feeds its commit stamp into
+// the high-water mark.
+func (p *Pool) doObserved(ctx context.Context, pc *poolConn, req Request) (*Response, error) {
+	resp, err := pc.do(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	p.observe(resp)
+	return resp, nil
+}
+
+// observe advances the high-water commit mark monotonically.
+func (p *Pool) observe(resp *Response) {
+	c := resp.Commit
+	for {
+		cur := p.highWater.Load()
+		if c <= cur || p.highWater.CompareAndSwap(cur, c) {
+			return
+		}
+	}
+}
+
+// tooStale reports whether a replica answer violates the staleness bound.
+func (p *Pool) tooStale(resp *Response) bool {
+	if p.opts.MaxLag < 0 {
+		return false
+	}
+	return p.highWater.Load()-resp.Commit > p.opts.MaxLag
+}
+
+func (p *Pool) bump(fn func(*PoolStats)) {
+	p.statsMu.Lock()
+	fn(&p.stats)
+	p.statsMu.Unlock()
+}
+
+// Statement classes for routing.
+type stmtClass int
+
+const (
+	stmtWrite stmtClass = iota
+	stmtRead
+	stmtDeclaration
+)
+
+// classify buckets a statement batch lexically: anything containing a
+// mutation keyword goes to the primary (a keyword inside a string literal
+// misroutes conservatively — the primary answers reads too), a batch with
+// a range declaration is broadcast, and pure retrieves are reads.
+func classify(src string) stmtClass {
+	decl := false
+	for _, f := range strings.Fields(strings.ToLower(src)) {
+		switch f {
+		case "append", "delete", "replace", "create", "destroy":
+			return stmtWrite
+		case "range":
+			decl = true
+		}
+	}
+	if decl {
+		return stmtDeclaration
+	}
+	return stmtRead
+}

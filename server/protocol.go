@@ -41,8 +41,10 @@ import (
 
 // ProtoVersion is the protocol version this package speaks, as
 // "MAJOR.MINOR". Majors must match between client and server; minors are
-// additive.
-const ProtoVersion = "1.0"
+// additive. 1.1 added the "repl" streaming command, the request cursor
+// fields it carries, and the commit stamp on every response — all additive,
+// so 1.0 clients interoperate unchanged.
+const ProtoVersion = "1.1"
 
 // Response codes for structured failures (Response.Code).
 const (
@@ -53,17 +55,27 @@ const (
 	CodeVersion = "version"
 	// CodeMalformed marks an undecodable request line.
 	CodeMalformed = "malformed"
+	// CodeReadOnly marks a mutation sent to a replication follower; route
+	// the statement to the primary instead. The connection stays open.
+	CodeReadOnly = "readonly"
 )
 
 // Request is one client message: TQuel source to execute, or an admin
 // command when Cmd is set (Src is ignored then). Supported commands:
-// "cache" (report query-cache statistics) and "cache clear" (drop every
-// cached result). V carries the client's protocol version; empty means
-// a pre-versioning client, accepted as the current major.
+// "cache" (report query-cache statistics), "cache clear" (drop every
+// cached result), and "repl" (1.1+: switch the connection into a one-way
+// replication feed resuming from the Epoch/Offset cursor; see
+// docs/replication.md). V carries the client's protocol version; empty
+// means a pre-versioning client, accepted as the current major.
 type Request struct {
 	V   string `json:"v,omitempty"`
 	Src string `json:"src"`
 	Cmd string `json:"cmd,omitempty"`
+	// Epoch and Offset are the follower's resume cursor for the "repl"
+	// command: the checkpoint era of its local log and that log's size in
+	// bytes. Ignored by every other command.
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Offset int64  `json:"offset,omitempty"`
 }
 
 // Outcome mirrors tquel.Outcome for the wire.
@@ -88,9 +100,13 @@ type Response struct {
 	// Error is set when execution failed; outcomes of statements that
 	// succeeded before the failure are still included.
 	Error string `json:"error,omitempty"`
-	// Code classifies structured failures ("busy", "version", "malformed");
-	// empty for execution errors and successes.
+	// Code classifies structured failures ("busy", "version", "malformed",
+	// "readonly"); empty for execution errors and successes.
 	Code string `json:"code,omitempty"`
+	// Commit is the serving database's latest commit chronon at response
+	// time (1.1+). Replica-aware clients compare it against the highest
+	// commit they have seen to bound read staleness.
+	Commit int64 `json:"commit,omitempty"`
 }
 
 // maxLine bounds a single protocol line (1 MiB): statements and rendered

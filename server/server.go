@@ -15,6 +15,7 @@ import (
 
 	"tdb"
 	"tdb/internal/obs"
+	"tdb/internal/repl"
 	"tdb/tquel"
 )
 
@@ -55,11 +56,16 @@ type Server struct {
 	// DefaultDrainTimeout. Set before Serve.
 	DrainTimeout time.Duration
 
+	// ReplHeartbeat is the idle position-report interval on replication
+	// streams. Zero means repl.DefaultHeartbeat. Set before Serve.
+	ReplHeartbeat time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+	done     chan struct{} // closed by Close; ends replication streams
 }
 
 // DefaultDrainTimeout is how long Close lets in-flight requests finish when
@@ -72,7 +78,12 @@ func New(db *tdb.DB, logger *log.Logger) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	return &Server{db: db, logger: logger, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		db:     db,
+		logger: logger,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
 }
 
 // Serve accepts connections until the listener is closed (by Close).
@@ -171,6 +182,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.done) // replication streams see this and end promptly
 	l := s.listener
 	drain := s.DrainTimeout
 	if drain <= 0 {
@@ -233,6 +245,7 @@ func (s *Server) handle(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), maxLine)
 	w := bufio.NewWriter(conn)
+	loggedProto := false
 	for {
 		// Arm the per-request deadline before checking for shutdown, never
 		// after: Close sets closed (under s.mu) before it pokes read
@@ -264,24 +277,47 @@ func (s *Server) handle(conn net.Conn) {
 			resp.Code = CodeVersion
 			resp.Error = fmt.Sprintf("unsupported protocol version %q (server speaks %s)",
 				req.V, ProtoVersion)
-		} else if req.Cmd != "" {
-			resp = s.handleCmd(req.Cmd)
 		} else {
-			outs, err := ses.Exec(req.Src)
-			for _, o := range outs {
-				wire := Outcome{Stmt: o.Stmt, Msg: o.Msg}
-				if o.Result != nil {
-					wire.Table = o.Result.String()
-					wire.Rows = o.Result.Len()
-					wire.Msg = ""
-				}
-				resp.Outcomes = append(resp.Outcomes, wire)
+			if !loggedProto {
+				// Surface the negotiated protocol version once per
+				// connection: in the log for debugging a specific peer, and
+				// as a labeled counter for fleet-wide version skew.
+				loggedProto = true
+				label := protoLabel(req.V)
+				obs.Default.Counter(
+					fmt.Sprintf("tdb_server_proto_connections_total{version=%q}", label),
+					"Connections by negotiated protocol version.").Inc()
+				s.logger.Printf("conn %s: protocol %s", conn.RemoteAddr(), label)
 			}
-			if err != nil {
-				resp.Error = err.Error()
+			if strings.TrimSpace(req.Cmd) == "repl" {
+				// The connection becomes a one-way replication feed and
+				// never returns to the request loop.
+				s.serveRepl(conn, w, req)
+				return
+			}
+			if req.Cmd != "" {
+				resp = s.handleCmd(req.Cmd)
+			} else {
+				outs, err := ses.Exec(req.Src)
+				for _, o := range outs {
+					wire := Outcome{Stmt: o.Stmt, Msg: o.Msg}
+					if o.Result != nil {
+						wire.Table = o.Result.String()
+						wire.Rows = o.Result.Len()
+						wire.Msg = ""
+					}
+					resp.Outcomes = append(resp.Outcomes, wire)
+				}
+				if err != nil {
+					resp.Error = err.Error()
+					if s.db.IsReadOnly() && strings.Contains(err.Error(), "read-only") {
+						resp.Code = CodeReadOnly
+					}
+				}
 			}
 		}
 		resp.V = ProtoVersion
+		resp.Commit = int64(s.db.LastCommit())
 		out, err := encodeLine(resp)
 		if err != nil {
 			s.logger.Printf("encoding response: %v", err)
@@ -324,6 +360,66 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			s.logger.Printf("connection read: %v", err)
 		}
+	}
+}
+
+// serveRepl turns one accepted connection into a replication feed: the
+// handshake request carries the follower's durable cursor, and the server
+// ships snapshot and log bytes until the follower disconnects or the
+// server shuts down. Replication streams are exempt from ReadTimeout — the
+// server never reads again on this connection, and liveness flows the
+// other way, through heartbeat writes whose failures end the stream.
+func (s *Server) serveRepl(conn net.Conn, w *bufio.Writer, req Request) {
+	if !s.db.Replicable() {
+		out, err := encodeLine(repl.Msg{T: repl.MsgError,
+			Err: "replication requires a log-backed database"})
+		if err == nil {
+			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			w.Write(out)
+			w.Flush()
+		}
+		return
+	}
+	conn.SetReadDeadline(time.Time{}) // cancel the per-request deadline
+	s.logger.Printf("repl: %s streaming from epoch %d offset %d",
+		conn.RemoteAddr(), req.Epoch, req.Offset)
+	send := func(m repl.Msg) error {
+		out, err := encodeLine(m)
+		if err != nil {
+			return err
+		}
+		if t := s.WriteTimeout; t > 0 {
+			conn.SetWriteDeadline(time.Now().Add(t))
+		}
+		if _, err := w.Write(out); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	err := repl.Stream(s.db, repl.Cursor{Epoch: req.Epoch, Offset: req.Offset}, send,
+		repl.StreamOptions{Heartbeat: s.ReplHeartbeat, Stop: s.done})
+	if err != nil {
+		s.logger.Printf("repl: stream to %s failed: %v", conn.RemoteAddr(), err)
+	} else {
+		s.logger.Printf("repl: stream to %s ended", conn.RemoteAddr())
+	}
+}
+
+// protoLabel buckets a client's protocol version for the per-connection
+// metric: exact known versions pass through, same-major strangers collapse
+// to "MAJOR.x", anything else to "other", and a missing version (a
+// pre-versioning client) to "legacy". Bucketing keeps client-supplied
+// strings out of metric names.
+func protoLabel(v string) string {
+	switch {
+	case v == "":
+		return "legacy"
+	case v == ProtoVersion || v == "1.0":
+		return v
+	case protoMajor(v) == protoMajor(ProtoVersion):
+		return protoMajor(v) + ".x"
+	default:
+		return "other"
 	}
 }
 
