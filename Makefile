@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nocache test-faults race-recovery test-repl race-repl figures-check bench bench-smoke bench-json bench-compare
+.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nocache test-nosegments race-segments test-faults race-recovery test-repl race-repl figures-check bench bench-smoke bench-json bench-compare
 
-check: fmt vet build race race-parallel race-cache test-noplanner test-nocache test-faults test-repl figures-check
+check: fmt vet build race race-parallel race-cache test-noplanner test-nocache test-nosegments race-segments test-faults test-repl figures-check
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -47,6 +47,21 @@ test-noplanner:
 # one process; this job exercises the whole suite on the uncached path.
 test-nocache:
 	TDB_CACHE_BYTES=0 $(GO) test ./...
+
+# Ablation run with columnar segments disabled: every store keeps its whole
+# history in the flat row tail and scans take the linear, zone-map-free
+# path. The segments differential tests force segments back on with
+# t.Setenv, so inside this job they still compare sealed vs flat; everything
+# else runs purely flat.
+test-nosegments:
+	TDB_DISABLE_SEGMENTS=1 $(GO) test ./...
+
+# The race detector with the seal threshold forced tiny and the parallel
+# executor pinned on: every relation of more than four rows seals into
+# columnar segments, so concurrent sessions, the worker pool, and the
+# checkpointer all race over the sealed/tail boundary.
+race-segments:
+	TDB_SEGMENT_ROWS=4 TDB_PARALLEL=4 $(GO) test -race ./tquel ./internal/figures ./internal/segment .
 
 # The durability suite: fault injection (vfs), torn-log replay (wal), the
 # crash matrices (truncate/corrupt every byte of the final record; crash a
@@ -98,14 +113,16 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-# The planner + parallel-executor benchmarks, rendered as committed JSON.
-# Runs at the default GOMAXPROCS (benchjson strips the -N name suffix, so a
-# -cpu list would collide); the scaling curve is the separate
-# `-bench JoinParallel -cpu 1,2,4` run CI does and EXPERIMENTS.md records.
+# The planner + parallel-executor + segment benchmarks, rendered as
+# committed JSON. Runs at the default GOMAXPROCS (benchjson strips the -N
+# name suffix, so a -cpu list would collide); the scaling curve is the
+# separate `-bench JoinParallel -cpu 1,2,4` run CI does and EXPERIMENTS.md
+# records. The 1M-version fixture behind AsOf1M/Overlap1M loads once and is
+# shared across arms, but still makes this a minutes-long target.
 bench-json:
 	$(GO) test -run '^$$' -benchmem \
-		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel|BenchmarkAsOfCached|BenchmarkReplicaCatchup|BenchmarkReadFanout' \
-		./tquel ./server | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel|BenchmarkAsOfCached|BenchmarkReplicaCatchup|BenchmarkReadFanout|BenchmarkAsOf1M|BenchmarkOverlap1M|BenchmarkSegmentSeal' \
+		./tquel ./server . | $(GO) run ./cmd/benchjson > BENCH_PR7.json
 
 # Guard against the committed baseline: exits non-zero when a shared
 # benchmark got more than 1.25x slower (CI runs this warn-only; see ci.yml).

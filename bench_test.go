@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"sync"
 	"testing"
 
 	"tdb"
@@ -24,6 +25,7 @@ import (
 	"tdb/internal/dataset"
 	"tdb/internal/figures"
 	"tdb/internal/obs"
+	"tdb/internal/segment"
 	"tdb/temporal"
 	"tdb/tquel"
 )
@@ -418,4 +420,163 @@ func BenchmarkTracerOverhead(b *testing.B) {
 	b.Run("log-tracer", func(b *testing.B) {
 		bench(b, obs.NewLogTracer(log.New(io.Discard, "", 0)))
 	})
+}
+
+// --- Columnar segments: selective scans over a million-version history ---
+
+// seg1M lazily builds two temporal stores over the identical 1M-event
+// history: one sealing into columnar segments at the default threshold
+// (per-event transactions, so seals land on commit boundaries exactly as
+// they do under DB.Update), one pinned to the flat row log. Shared across
+// the 1M benchmarks because the load costs seconds.
+var seg1M struct {
+	once    sync.Once
+	seg     *core.TemporalStore
+	flat    *core.TemporalStore
+	commits []temporal.Chronon
+	err     error
+}
+
+func loadSeg1M(b *testing.B) (seg, flat *core.TemporalStore, commits []temporal.Chronon) {
+	b.Helper()
+	seg1M.once.Do(func() {
+		cfg := dataset.DefaultConfig()
+		cfg.Entities = 1000
+		cfg.VersionsPerEntity = 1000 // 1M events
+		// Open valid periods only: every update supersedes its
+		// predecessor, so superseded history really is superseded and the
+		// transaction-time zone maps can retire whole segments. (Bounded
+		// periods accumulate permanently-current rows in every segment,
+		// which caps as-of pruning at the probe's upper side.)
+		cfg.BoundedFraction = 0
+		events := dataset.History(cfg)
+		build := func(disable bool) (*core.TemporalStore, error) {
+			s := core.NewTemporalStore(dataset.Schema())
+			s.DisableSegments(disable)
+			for _, e := range events {
+				s.BeginTxn()
+				var err error
+				if e.Assert {
+					err = s.Assert(e.Tuple(), e.Valid, e.Commit)
+				} else if err = s.Retract(e.Key(), e.Valid, e.Commit); err == core.ErrNoSuchTuple {
+					err = nil
+				}
+				if err != nil {
+					s.AbortTxn()
+					return nil, err
+				}
+				s.CommitTxn()
+			}
+			return s, nil
+		}
+		if seg1M.seg, seg1M.err = build(false); seg1M.err != nil {
+			return
+		}
+		if seg1M.flat, seg1M.err = build(true); seg1M.err != nil {
+			return
+		}
+		if seg1M.seg.SegmentStats().Segments == 0 {
+			seg1M.err = fmt.Errorf("1M fixture sealed no segments")
+			return
+		}
+		seg1M.commits = dataset.Commits(events)
+	})
+	if seg1M.err != nil {
+		b.Fatal(seg1M.err)
+	}
+	return seg1M.seg, seg1M.flat, seg1M.commits
+}
+
+// seg1MArms enumerates the four measured storage/index combinations. The
+// (index off, segments on) arm isolates zone-map pruning: the interval
+// index is bypassed and the scan leans on segment metadata alone.
+func seg1MArms(seg, flat *core.TemporalStore) []struct {
+	name string
+	s    *core.TemporalStore
+	idx  bool
+} {
+	return []struct {
+		name string
+		s    *core.TemporalStore
+		idx  bool
+	}{
+		{"flat", flat, false},
+		{"flat+index", flat, true},
+		{"segments", seg, false},
+		{"segments+index", seg, true},
+	}
+}
+
+// BenchmarkAsOf1M probes a rollback (as of) state 0.1% into a one-million
+// version history — the selective scan the segment metadata exists for.
+// The flat arm walks every version; the segments arm stops at the upper
+// commit-order cut (binary search within the one segment containing the
+// probe) without touching the other 99.9%. The early probe also keeps the
+// answer set (~1k versions) small enough that per-op materialization cost
+// doesn't drown the scan being measured.
+func BenchmarkAsOf1M(b *testing.B) {
+	seg, flat, commits := loadSeg1M(b)
+	probe := commits[len(commits)/1000]
+	for _, arm := range seg1MArms(seg, flat) {
+		b.Run(arm.name, func(b *testing.B) {
+			arm.s.DisableIntervalIndex(!arm.idx)
+			defer arm.s.DisableIntervalIndex(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(arm.s.AsOf(probe)) == 0 {
+					b.Fatal("empty as-of state")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOverlap1M scans for versions whose transaction period overlaps
+// a narrow early window (as of E1 through E2) over the same history.
+func BenchmarkOverlap1M(b *testing.B) {
+	seg, flat, commits := loadSeg1M(b)
+	w := temporal.Interval{From: commits[len(commits)/1000], To: commits[len(commits)/1000+200]}
+	for _, arm := range seg1MArms(seg, flat) {
+		b.Run(arm.name, func(b *testing.B) {
+			arm.s.DisableIntervalIndex(!arm.idx)
+			defer arm.s.DisableIntervalIndex(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(arm.s.During(w)) == 0 {
+					b.Fatal("empty overlap window")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSegmentSeal prices freezing one default-threshold tail into a
+// columnar segment: dictionary encoding, zone maps, and the key bloom for
+// 8192 rows. This is the cost a commit pays when it trips the threshold.
+func BenchmarkSegmentSeal(b *testing.B) {
+	cfg := dataset.DefaultConfig()
+	cfg.Entities = 128
+	cfg.VersionsPerEntity = 64 // 8192 rows = segment.DefaultSealRows
+	events := dataset.History(cfg)
+	rows := make([]segment.Row, len(events))
+	for i, e := range events {
+		rows[i] = segment.Row{
+			Data:    e.Tuple(),
+			Valid:   e.Valid,
+			Trans:   temporal.Since(e.Commit),
+			KeyHash: e.Key().Hash64(),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg := segment.NewLog(dataset.Schema())
+		lg.SetDisabled(false)
+		for _, r := range rows {
+			lg.Append(r)
+		}
+		if !lg.SealNow() {
+			b.Fatal("tail did not seal")
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "rows/seal")
 }

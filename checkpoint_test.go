@@ -7,6 +7,7 @@ import (
 	"sort"
 	"testing"
 
+	"tdb/internal/core"
 	"tdb/internal/wal"
 	"tdb/temporal"
 )
@@ -273,6 +274,115 @@ func TestCheckpointCrashAfterTruncate(t *testing.T) {
 	if got := stateDigest(t, db3); !digestsEqual(before2, got) {
 		t.Fatal("write after truncate-crash was skipped on recovery")
 	}
+}
+
+// segCount returns the number of sealed segments behind a relation, or 0
+// for stores that have no segment log.
+func segCount(t *testing.T, db *DB, name string) int {
+	t.Helper()
+	rel, err := db.cat.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, ok := rel.Store().(core.Segmented)
+	if !ok {
+		return 0
+	}
+	return seg.SegmentStats().Segments
+}
+
+// buildSealedDB writes enough versions through tiny seal thresholds that
+// both append-only relations hold sealed segments plus a non-empty tail.
+func buildSealedDB(t *testing.T, db *DB) {
+	t.Helper()
+	sch := facultySchema(t)
+	if _, err := db.CreateRelation("r_temporal", Temporal, sch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateRelation("r_rollback", StaticRollback, sch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 11; i++ {
+		at := temporal.Date(1982, 1, 1+i)
+		if err := db.UpdateAt(at, func(tx *Tx) error {
+			h, _ := tx.Rel("r_temporal")
+			if err := h.Assert(fac("X", string(rune('a'+i))), at, temporal.Forever); err != nil {
+				return err
+			}
+			r, _ := tx.Rel("r_rollback")
+			tup := fac("X", string(rune('a'+i)))
+			if err := r.Insert(tup); errors.Is(err, ErrDuplicateKey) {
+				return r.Replace(Key(String("X")), tup)
+			} else if err != nil {
+				return err
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A checkpoint of a segmented store ships sealed segments as columnar
+// blocks; recovery must reattach them and produce the same observable state,
+// and the flat-path ablation must recover those same blocks row-wise.
+func TestCheckpointSegmentedRoundTrip(t *testing.T) {
+	t.Setenv("TDB_DISABLE_SEGMENTS", "") // force segments on even in the ablation CI job
+	t.Setenv("TDB_SEGMENT_ROWS", "4")
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	db := reopen(t, path)
+	buildSealedDB(t, db)
+	if n := segCount(t, db, "r_temporal"); n == 0 {
+		t.Fatal("no sealed segments before checkpoint; threshold knob inert")
+	}
+	before := stateDigest(t, db)
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := stateDigest(t, db); !digestsEqual(before, got) {
+		t.Fatal("checkpoint changed live state")
+	}
+	db.Close()
+
+	db2 := reopen(t, path)
+	if got := stateDigest(t, db2); !digestsEqual(before, got) {
+		t.Fatalf("segmented recovery differs:\nbefore %v\nafter  %v", before, got)
+	}
+	if n := segCount(t, db2, "r_temporal"); n == 0 {
+		t.Fatal("recovery flattened the segments")
+	}
+	if n := segCount(t, db2, "r_rollback"); n == 0 {
+		t.Fatal("recovery flattened the rollback segments")
+	}
+	// Post-restore writes land in the tail behind the reattached segments
+	// and survive another reopen.
+	at := temporal.Date(1983, 6, 1)
+	if err := db2.UpdateAt(at, func(tx *Tx) error {
+		h, _ := tx.Rel("r_temporal")
+		return h.Assert(fac("Y", "new"), at, temporal.Forever)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before2 := stateDigest(t, db2)
+	db2.Close()
+	db3 := reopen(t, path)
+	if got := stateDigest(t, db3); !digestsEqual(before2, got) {
+		t.Fatal("post-restore writes lost after segmented recovery")
+	}
+	db3.Close()
+
+	// Flat-path ablation: the same v3 snapshot must restore row-wise when
+	// segments are disabled, with identical observable state.
+	t.Setenv("TDB_DISABLE_SEGMENTS", "1")
+	db4 := reopen(t, path)
+	if got := stateDigest(t, db4); !digestsEqual(before2, got) {
+		t.Fatal("segments-off recovery of a segmented snapshot differs")
+	}
+	if n := segCount(t, db4, "r_temporal"); n != 0 {
+		t.Fatalf("ablated recovery kept %d columnar segments", n)
+	}
+	db4.Close()
 }
 
 func TestCheckpointInMemoryFails(t *testing.T) {

@@ -146,6 +146,11 @@ func run(cfg config, logger *log.Logger, sigs <-chan os.Signal, started func(ser
 					"epoch":            st.Epoch,
 					"recovery":         st.Recovery,
 					"cache":            db.QueryCache().Stats(),
+					"segments": map[string]any{
+						"segments":    st.Segments,
+						"sealed_rows": st.SealedRows,
+						"tail_rows":   st.TailRows,
+					},
 				}
 				if follower != nil {
 					m["replication"] = map[string]any{

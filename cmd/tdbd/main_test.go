@@ -172,4 +172,7 @@ func TestAdminEndpointServesMetrics(t *testing.T) {
 	if !strings.Contains(statz, `"relations"`) || !strings.Contains(statz, `"metrics"`) {
 		t.Errorf("/statz missing app stats: %s", statz[:min(len(statz), 200)])
 	}
+	if !strings.Contains(statz, `"sealed_rows"`) || !strings.Contains(statz, `"tail_rows"`) {
+		t.Errorf("/statz missing segment stats: %s", statz[:min(len(statz), 400)])
+	}
 }

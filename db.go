@@ -8,7 +8,9 @@ import (
 	"sync"
 
 	"tdb/internal/catalog"
+	"tdb/internal/core"
 	"tdb/internal/qcache"
+	"tdb/internal/segment"
 	"tdb/internal/txn"
 	"tdb/internal/vfs"
 	"tdb/internal/wal"
@@ -320,6 +322,32 @@ func (db *DB) restoreSnapshot(snap wal.Snapshot) error {
 		if err != nil {
 			return err
 		}
+		if len(rs.Segments) > 0 {
+			seg, ok := rel.Store().(core.Segmented)
+			if !ok {
+				return fmt.Errorf("restoring %q: %v store cannot hold segments", rs.Name, rs.Kind)
+			}
+			if seg.SegmentsDisabled() {
+				// Flat-path ablation: materialize blocks row-wise so the
+				// restored store really is unsegmented, not just non-pruning.
+				var ferr error
+				for _, g := range rs.Segments {
+					g.Each(func(r segment.Row) bool {
+						ferr = seg.RestoreVersion(Version{Data: r.Data, Valid: r.Valid, Trans: r.Trans})
+						return ferr == nil
+					})
+					if ferr != nil {
+						return fmt.Errorf("restoring %q: %w", rs.Name, ferr)
+					}
+				}
+			} else {
+				for _, g := range rs.Segments {
+					if err := seg.RestoreSegment(g); err != nil {
+						return fmt.Errorf("restoring %q: %w", rs.Name, err)
+					}
+				}
+			}
+		}
 		for _, v := range rs.Versions {
 			switch rs.Kind {
 			case Static:
@@ -393,10 +421,22 @@ func (db *DB) Checkpoint() error {
 			Schema:       rel.Schema(),
 			WriteVersion: rel.WriteVersion(),
 		}
-		rel.Store().Versions(func(v Version) bool {
-			rs.Versions = append(rs.Versions, v)
-			return true
-		})
+		if seg, ok := rel.Store().(core.Segmented); ok && !seg.SegmentsDisabled() {
+			// Sealed segments ship as columnar blocks; only the unsealed
+			// tail is written row-wise. Segments are immutable (apart from
+			// transaction-time closures, serialized behind db.mu alongside
+			// us), so referencing them here instead of copying is safe.
+			rs.Segments = seg.Segments()
+			seg.ScanTailVersions(func(v Version) bool {
+				rs.Versions = append(rs.Versions, v)
+				return true
+			})
+		} else {
+			rel.Store().Versions(func(v Version) bool {
+				rs.Versions = append(rs.Versions, v)
+				return true
+			})
+		}
 		snap.Relations = append(snap.Relations, rs)
 	}
 	if err := db.installSnapshot(snap); err != nil {
@@ -564,6 +604,12 @@ type Stats struct {
 	// ReadOnly reports follower mode: the database only advances by
 	// applying its primary's replication stream.
 	ReadOnly bool
+	// Segments is the number of sealed columnar segments across all
+	// append-only relations; SealedRows and TailRows split their version
+	// counts into the immutable and mutable parts.
+	Segments   int
+	SealedRows int
+	TailRows   int
 }
 
 // Stats returns a snapshot of database-wide counters.
@@ -590,6 +636,12 @@ func (db *DB) Stats() Stats {
 			}
 			return true
 		})
+		if seg, ok := rel.Store().(core.Segmented); ok {
+			st := seg.SegmentStats()
+			s.Segments += st.Segments
+			s.SealedRows += st.SealedRows
+			s.TailRows += st.TailRows
+		}
 	}
 	return s
 }

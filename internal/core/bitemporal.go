@@ -5,6 +5,7 @@ import (
 
 	"tdb/internal/index"
 	"tdb/internal/schema"
+	"tdb/internal/segment"
 	"tdb/internal/tuple"
 	"tdb/temporal"
 )
@@ -20,10 +21,15 @@ import (
 // closes the transaction-time end of superseded versions and appends
 // replacements; nothing committed is ever modified or removed, which the
 // property tests TestTemporalAppendOnly* verify.
+//
+// Storage is a segment.Log: committed history seals into immutable columnar
+// segments with zone maps (pruned scans), while recent versions stay in a
+// mutable row-format tail. Global positions are stable across seals, so the
+// key and interval indexes work unchanged.
 type TemporalStore struct {
 	sch        *schema.Schema
 	event      bool
-	rows       []btRow
+	log        *segment.Log
 	byKey      index.Hash // key hash -> positions of *current* versions
 	byTrans    *index.IntervalTree
 	lastCommit temporal.Chronon
@@ -32,16 +38,11 @@ type TemporalStore struct {
 	verCounter
 }
 
-type btRow struct {
-	data  tuple.Tuple
-	valid temporal.Interval
-	trans temporal.Interval
-}
-
 // NewTemporalStore creates an empty temporal interval relation.
 func NewTemporalStore(sch *schema.Schema) *TemporalStore {
 	return &TemporalStore{
 		sch:        sch,
+		log:        segment.NewLog(sch),
 		byTrans:    index.NewIntervalTree(),
 		lastCommit: temporal.Beginning,
 		useIndex:   true,
@@ -57,17 +58,48 @@ func NewTemporalEventStore(sch *schema.Schema) *TemporalStore {
 }
 
 // DisableIntervalIndex switches AsOf to a linear scan for the ablation
-// benchmarks; the index is still maintained.
+// benchmarks; the index is still maintained. With segments enabled the
+// "linear" scan is the zone-mapped segment scan — the (index off, segments
+// on) arm measures zone maps alone.
 func (s *TemporalStore) DisableIntervalIndex(disabled bool) { s.useIndex = !disabled }
+
+// DisableSegments switches tail sealing off (the flat-path ablation).
+func (s *TemporalStore) DisableSegments(disabled bool) { s.log.SetDisabled(disabled) }
+
+// SegmentsDisabled reports whether the flat path is active.
+func (s *TemporalStore) SegmentsDisabled() bool { return s.log.Disabled() }
+
+// SetSegmentRows overrides the tail size that triggers a seal at commit.
+func (s *TemporalStore) SetSegmentRows(n int) { s.log.SetSealRows(n) }
+
+// SegmentStats summarizes the store's segmentation.
+func (s *TemporalStore) SegmentStats() segment.Stats { return s.log.Stats() }
+
+// Segments exposes the sealed segments for checkpoint encoding.
+func (s *TemporalStore) Segments() []*segment.Segment { return s.log.Segments() }
+
+// ScanTailVersions yields the versions not yet sealed, in commit order.
+func (s *TemporalStore) ScanTailVersions(fn func(Version) bool) {
+	s.log.ScanTail(func(_ int, r segment.Row) bool {
+		return fn(Version{Data: r.Data, Valid: r.Valid, Trans: r.Trans})
+	})
+}
 
 // BeginTxn starts collecting undo information (see Transactional).
 func (s *TemporalStore) BeginTxn() { s.j.begin() }
 
-// CommitTxn finalizes mutations since BeginTxn.
-func (s *TemporalStore) CommitTxn() { s.j.commit() }
+// CommitTxn finalizes mutations since BeginTxn. With the journal emptied the
+// tail holds only committed versions, so this is the one safe moment to seal
+// it into a columnar segment.
+func (s *TemporalStore) CommitTxn() {
+	s.j.commit()
+	s.log.Seal()
+}
 
 // AbortTxn reverts mutations since BeginTxn; an aborted transaction never
-// committed, so removing its versions does not break append-only-ness.
+// committed, so removing its versions does not break append-only-ness. The
+// undo closures only ever truncate tail rows: sealing is fenced to commit
+// boundaries, so an abort cannot tear rows out of a sealed segment.
 func (s *TemporalStore) AbortTxn() { s.j.abort() }
 
 // Kind returns Temporal.
@@ -81,7 +113,7 @@ func (s *TemporalStore) Event() bool { return s.event }
 
 // VersionCount returns the total number of stored versions, current and
 // superseded.
-func (s *TemporalStore) VersionCount() int { return len(s.rows) }
+func (s *TemporalStore) VersionCount() int { return s.log.Len() }
 
 // LastCommit returns the latest commit chronon applied.
 func (s *TemporalStore) LastCommit() temporal.Chronon { return s.lastCommit }
@@ -163,10 +195,10 @@ func (s *TemporalStore) RetractAt(key tuple.Tuple, validAt, at temporal.Chronon)
 	n := 0
 	kh := key.Hash64()
 	for _, pos := range append([]int(nil), s.byKey.Lookup(kh)...) {
-		row := &s.rows[pos]
-		if row.trans.To != temporal.Forever ||
-			row.valid.From != validAt ||
-			!tuple.Equal(row.data.Key(s.sch), key) {
+		row := s.log.Row(pos)
+		if row.Trans.To != temporal.Forever ||
+			row.Valid.From != validAt ||
+			!tuple.Equal(row.Data.Key(s.sch), key) {
 			continue
 		}
 		s.closeRow(pos, kh, at)
@@ -185,16 +217,16 @@ func (s *TemporalStore) supersede(key tuple.Tuple, valid temporal.Interval, at t
 	n := 0
 	kh := key.Hash64()
 	for _, pos := range append([]int(nil), s.byKey.Lookup(kh)...) {
-		row := s.rows[pos] // copy: s.rows may grow below
-		if row.trans.To != temporal.Forever ||
-			!row.valid.Overlaps(valid) ||
-			!tuple.Equal(row.data.Key(s.sch), key) {
+		row := s.log.Row(pos) // materialized copy: the log may grow below
+		if row.Trans.To != temporal.Forever ||
+			!row.Valid.Overlaps(valid) ||
+			!tuple.Equal(row.Data.Key(s.sch), key) {
 			continue
 		}
 		n++
 		s.closeRow(pos, kh, at)
-		for _, rem := range row.valid.Subtract(valid) {
-			s.append(row.data, key, rem, at)
+		for _, rem := range row.Valid.Subtract(valid) {
+			s.append(row.Data, key, rem, at)
 		}
 	}
 	return n
@@ -203,23 +235,35 @@ func (s *TemporalStore) supersede(key tuple.Tuple, valid temporal.Interval, at t
 // AsOf performs the rollback operation, returning the historical state that
 // was current at transaction time t: every version asserted by then and not
 // yet superseded, stamped with its valid period. The result of rollback on
-// a temporal relation is a historical relation (§4.4).
+// a temporal relation is a historical relation (§4.4). With the interval
+// index disabled the scan walks the segments, skipping any whose
+// transaction-time zone map excludes t.
 func (s *TemporalStore) AsOf(t temporal.Chronon) []Version {
+	return s.AsOfFiltered(t, nil)
+}
+
+// AsOfFiltered is AsOf with optional comparison pre-filters evaluated on the
+// segment columns — on the indexed path, per stabbed position — before any
+// tuple is materialized. Filters are an acceleration only (callers re-verify
+// the originating predicate), so nil filters yield the same rows.
+func (s *TemporalStore) AsOfFiltered(t temporal.Chronon, filters []*segment.Filter) []Version {
 	countRead(Temporal)
 	var out []Version
 	if s.useIndex {
 		s.byTrans.Stab(t, func(_ temporal.Interval, pos int) bool {
-			row := s.rows[pos]
-			out = append(out, Version{Data: row.data, Valid: row.valid, Trans: row.trans})
+			if !s.log.Match(pos, filters) {
+				return true
+			}
+			row := s.log.Row(pos)
+			out = append(out, Version{Data: row.Data, Valid: row.Valid, Trans: row.Trans})
 			return true
 		})
 		return out
 	}
-	for _, row := range s.rows {
-		if row.trans.Contains(t) {
-			out = append(out, Version{Data: row.data, Valid: row.valid, Trans: row.trans})
-		}
-	}
+	s.log.ScanAsOf(t, filters, func(_ int, r segment.Row) bool {
+		out = append(out, Version{Data: r.Data, Valid: r.Valid, Trans: r.Trans})
+		return true
+	})
 	return out
 }
 
@@ -228,9 +272,16 @@ func (s *TemporalStore) AsOf(t temporal.Chronon) []Version {
 func (s *TemporalStore) During(window temporal.Interval) []Version {
 	countRead(Temporal)
 	var out []Version
-	s.byTrans.Overlapping(window, func(iv temporal.Interval, pos int) bool {
-		row := s.rows[pos]
-		out = append(out, Version{Data: row.data, Valid: row.valid, Trans: iv})
+	if s.useIndex {
+		s.byTrans.Overlapping(window, func(iv temporal.Interval, pos int) bool {
+			row := s.log.Row(pos)
+			out = append(out, Version{Data: row.Data, Valid: row.Valid, Trans: iv})
+			return true
+		})
+		return out
+	}
+	s.log.ScanTransOverlap(window, func(_ int, r segment.Row) bool {
+		out = append(out, Version{Data: r.Data, Valid: r.Valid, Trans: r.Trans})
 		return true
 	})
 	return out
@@ -241,24 +292,31 @@ func (s *TemporalStore) During(window temporal.Interval) []Version {
 func (s *TemporalStore) TimeSlice(v, asOf temporal.Chronon) []tuple.Tuple {
 	countRead(Temporal)
 	var out []tuple.Tuple
-	for _, ver := range s.AsOf(asOf) {
-		if ver.Valid.Contains(v) {
-			out = append(out, ver.Data)
-		}
-	}
+	s.log.ScanWhen(temporal.At(v), asOf, nil, func(_ int, r segment.Row) bool {
+		out = append(out, r.Data)
+		return true
+	})
 	return out
 }
 
 // When returns the versions current as of asOf whose valid period overlaps
-// q — the primitive behind TQuel's combined when + as of query in §4.4.
+// q — the primitive behind TQuel's combined when + as of query in §4.4. The
+// scan prunes segments on both time axes via their zone maps.
 func (s *TemporalStore) When(q temporal.Interval, asOf temporal.Chronon) []Version {
+	return s.WhenFiltered(q, asOf, nil)
+}
+
+// WhenFiltered is When with optional equality pre-filters evaluated on the
+// segment columns before materialization. Filters are an acceleration only —
+// the planner re-applies the originating predicate on every returned
+// version — so passing nil and filtering afterwards yields the same rows.
+func (s *TemporalStore) WhenFiltered(q temporal.Interval, asOf temporal.Chronon, filters []*segment.Filter) []Version {
 	countRead(Temporal)
 	var out []Version
-	for _, ver := range s.AsOf(asOf) {
-		if ver.Valid.Overlaps(q) {
-			out = append(out, ver)
-		}
-	}
+	s.log.ScanWhen(q, asOf, filters, func(_ int, r segment.Row) bool {
+		out = append(out, Version{Data: r.Data, Valid: r.Valid, Trans: r.Trans})
+		return true
+	})
 	return out
 }
 
@@ -267,18 +325,30 @@ func (s *TemporalStore) History(key tuple.Tuple) []Version {
 	countRead(Temporal)
 	var out []Version
 	for _, pos := range s.byKey.Lookup(key.Hash64()) {
-		row := s.rows[pos]
-		if row.trans.To == temporal.Forever && tuple.Equal(row.data.Key(s.sch), key) {
-			out = append(out, Version{Data: row.data, Valid: row.valid, Trans: row.trans})
+		row := s.log.Row(pos)
+		if row.Trans.To == temporal.Forever && tuple.Equal(row.Data.Key(s.sch), key) {
+			out = append(out, Version{Data: row.Data, Valid: row.Valid, Trans: row.Trans})
 		}
 	}
 	sortVersionsByValid(out)
 	return out
 }
 
+// ScanKey yields every stored version (current and superseded) whose key
+// hash matches, in commit order — the audit-trail primitive. Sealed segments
+// whose bloom filter excludes the hash are skipped without reading a row.
+// Callers must still compare the key projection: hashes can collide.
+func (s *TemporalStore) ScanKey(kh uint64, fn func(Version) bool) {
+	countRead(Temporal)
+	s.log.ScanKey(kh, func(_ int, r segment.Row) bool {
+		return fn(Version{Data: r.Data, Valid: r.Valid, Trans: r.Trans})
+	})
+}
+
 // RestoreVersion reloads one stored version verbatim, including superseded
 // ones. It exists solely for checkpoint recovery: the version's periods are
-// taken as recorded, bypassing the update algebra.
+// taken as recorded, bypassing the update algebra. Restored tails seal on
+// the same threshold as live commits.
 func (s *TemporalStore) RestoreVersion(v Version) error {
 	if err := validate(s.sch, v.Data); err != nil {
 		return err
@@ -294,10 +364,10 @@ func (s *TemporalStore) RestoreVersion(v Version) error {
 			return fmt.Errorf("core: restoring non-event period %v into event relation", v.Valid)
 		}
 	}
-	s.rows = append(s.rows, btRow{data: v.Data.Clone(), valid: v.Valid, trans: v.Trans})
-	pos := len(s.rows) - 1
+	key := v.Data.Key(s.sch)
+	pos := s.log.Append(segment.Row{Data: v.Data.Clone(), Valid: v.Valid, Trans: v.Trans, KeyHash: key.Hash64()})
 	if v.Trans.To == temporal.Forever {
-		s.byKey.Add(v.Data.Key(s.sch).Hash64(), pos)
+		s.byKey.Add(key.Hash64(), pos)
 	}
 	s.byTrans.Insert(v.Trans, pos)
 	if v.Trans.From > s.lastCommit {
@@ -306,26 +376,53 @@ func (s *TemporalStore) RestoreVersion(v Version) error {
 	if v.Trans.To.IsFinite() && v.Trans.To > s.lastCommit {
 		s.lastCommit = v.Trans.To
 	}
+	s.log.Seal()
 	return nil
+}
+
+// RestoreSegment reattaches a checkpoint segment block and indexes its rows.
+// Blocks arrive in position order before any row-wise tail versions.
+func (s *TemporalStore) RestoreSegment(g *segment.Segment) error {
+	if err := s.log.RestoreSegment(g); err != nil {
+		return err
+	}
+	s.indexRestored(g)
+	return nil
+}
+
+func (s *TemporalStore) indexRestored(g *segment.Segment) {
+	for i := 0; i < g.Len(); i++ {
+		pos := g.Start() + i
+		tr := s.log.Trans(pos)
+		s.byTrans.Insert(tr, pos)
+		if tr.To == temporal.Forever {
+			s.byKey.Add(s.log.KeyHash(pos), pos)
+		}
+		if tr.From > s.lastCommit {
+			s.lastCommit = tr.From
+		}
+		if tr.To.IsFinite() && tr.To > s.lastCommit {
+			s.lastCommit = tr.To
+		}
+	}
 }
 
 // Versions yields every stored version in commit order.
 func (s *TemporalStore) Versions(fn func(Version) bool) {
-	for _, row := range s.rows {
-		if !fn(Version{Data: row.data, Valid: row.valid, Trans: row.trans}) {
-			return
-		}
-	}
+	s.log.Scan(func(_ int, r segment.Row) bool {
+		return fn(Version{Data: r.Data, Valid: r.Valid, Trans: r.Trans})
+	})
 }
 
 // Snapshot returns the tuples believed (as of now) to be valid at now.
 func (s *TemporalStore) Snapshot(now temporal.Chronon) []tuple.Tuple {
 	var out []tuple.Tuple
-	for _, row := range s.rows {
-		if row.trans.To == temporal.Forever && row.valid.Contains(now) {
-			out = append(out, row.data)
+	s.log.ScanCurrent(nil, func(_ int, r segment.Row) bool {
+		if r.Valid.Contains(now) {
+			out = append(out, r.Data)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -341,29 +438,28 @@ func (s *TemporalStore) admit(at temporal.Chronon) error {
 
 func (s *TemporalStore) append(t, key tuple.Tuple, valid temporal.Interval, at temporal.Chronon) {
 	iv := temporal.Since(at)
-	s.rows = append(s.rows, btRow{data: t, valid: valid, trans: iv})
-	pos := len(s.rows) - 1
 	kh := key.Hash64()
+	pos := s.log.Append(segment.Row{Data: t, Valid: valid, Trans: iv, KeyHash: kh})
 	s.byKey.Add(kh, pos)
 	s.byTrans.Insert(iv, pos)
 	s.j.record(func() {
 		s.byTrans.Remove(iv, pos)
 		s.byKey.Remove(kh, pos)
-		s.rows = s.rows[:pos] // LIFO undo: pos is the last row
+		s.log.TruncateTail(pos) // LIFO undo: pos is the last row
 	})
 }
 
 // closeRow supersedes a current version: its transaction-time end becomes
 // the commit chronon and it leaves the current-version key index.
 func (s *TemporalStore) closeRow(pos int, keyHash uint64, at temporal.Chronon) {
-	old := s.rows[pos].trans
+	old := s.log.Trans(pos)
 	closed := temporal.Interval{From: old.From, To: at}
-	s.rows[pos].trans = closed
+	s.log.CloseTrans(pos, at)
 	s.byTrans.Update(old, pos, closed)
 	s.byKey.Remove(keyHash, pos)
 	s.j.record(func() {
 		s.byKey.Add(keyHash, pos)
 		s.byTrans.Update(closed, pos, old)
-		s.rows[pos].trans = old
+		s.log.CloseTrans(pos, old.To)
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"tdb/internal/index"
 	"tdb/internal/schema"
+	"tdb/internal/segment"
 	"tdb/internal/tuple"
 	"tdb/temporal"
 )
@@ -17,12 +18,17 @@ import (
 // the only permitted change to committed data is closing a current
 // version's transaction-time end.
 //
+// Like TemporalStore, the version log is a segment.Log: committed history
+// seals into columnar segments whose transaction-time zone maps let AsOf
+// scans skip whole segments. Rollback relations carry no valid time, so
+// sealed rows store the universal interval there.
+//
 // Updates take a commit chronon supplied by the transaction layer, which
 // must be non-decreasing; supplying an earlier chronon fails with
 // ErrTimeRegression (the paper's "non-stop running clock").
 type RollbackStore struct {
 	sch        *schema.Schema
-	rows       []rbRow
+	log        *segment.Log
 	byKey      index.Hash // key hash -> current position
 	byTrans    *index.IntervalTree
 	lastCommit temporal.Chronon
@@ -31,15 +37,11 @@ type RollbackStore struct {
 	verCounter
 }
 
-type rbRow struct {
-	data  tuple.Tuple
-	trans temporal.Interval
-}
-
 // NewRollbackStore creates an empty static rollback relation.
 func NewRollbackStore(sch *schema.Schema) *RollbackStore {
 	return &RollbackStore{
 		sch:        sch,
+		log:        segment.NewLog(sch),
 		byTrans:    index.NewIntervalTree(),
 		lastCommit: temporal.Beginning,
 		useIndex:   true,
@@ -48,14 +50,41 @@ func NewRollbackStore(sch *schema.Schema) *RollbackStore {
 
 // DisableIntervalIndex switches AsOf to a linear scan over all versions.
 // It exists solely for the ablation benchmarks (A3 in DESIGN.md); the index
-// is still maintained.
+// is still maintained. With segments enabled the "linear" scan is the
+// zone-mapped segment scan.
 func (s *RollbackStore) DisableIntervalIndex(disabled bool) { s.useIndex = !disabled }
+
+// DisableSegments switches tail sealing off (the flat-path ablation).
+func (s *RollbackStore) DisableSegments(disabled bool) { s.log.SetDisabled(disabled) }
+
+// SegmentsDisabled reports whether the flat path is active.
+func (s *RollbackStore) SegmentsDisabled() bool { return s.log.Disabled() }
+
+// SetSegmentRows overrides the tail size that triggers a seal at commit.
+func (s *RollbackStore) SetSegmentRows(n int) { s.log.SetSealRows(n) }
+
+// SegmentStats summarizes the store's segmentation.
+func (s *RollbackStore) SegmentStats() segment.Stats { return s.log.Stats() }
+
+// Segments exposes the sealed segments for checkpoint encoding.
+func (s *RollbackStore) Segments() []*segment.Segment { return s.log.Segments() }
+
+// ScanTailVersions yields the versions not yet sealed, in commit order.
+func (s *RollbackStore) ScanTailVersions(fn func(Version) bool) {
+	s.log.ScanTail(func(_ int, r segment.Row) bool {
+		return fn(Version{Data: r.Data, Valid: temporal.All, Trans: r.Trans})
+	})
+}
 
 // BeginTxn starts collecting undo information (see Transactional).
 func (s *RollbackStore) BeginTxn() { s.j.begin() }
 
-// CommitTxn finalizes mutations since BeginTxn.
-func (s *RollbackStore) CommitTxn() { s.j.commit() }
+// CommitTxn finalizes mutations since BeginTxn and, with the journal empty,
+// seals a full tail into a columnar segment (see TemporalStore.CommitTxn).
+func (s *RollbackStore) CommitTxn() {
+	s.j.commit()
+	s.log.Seal()
+}
 
 // AbortTxn reverts mutations since BeginTxn. Aborting does not violate the
 // append-only discipline: an aborted transaction never committed, so the
@@ -73,7 +102,7 @@ func (s *RollbackStore) Event() bool { return false }
 
 // VersionCount returns the total number of stored versions, current and
 // closed.
-func (s *RollbackStore) VersionCount() int { return len(s.rows) }
+func (s *RollbackStore) VersionCount() int { return s.log.Len() }
 
 // LastCommit returns the latest commit chronon applied.
 func (s *RollbackStore) LastCommit() temporal.Chronon { return s.lastCommit }
@@ -145,7 +174,7 @@ func (s *RollbackStore) Get(key tuple.Tuple) (tuple.Tuple, bool) {
 	if !ok {
 		return nil, false
 	}
-	return s.rows[pos].data, true
+	return s.log.Row(pos).Data, true
 }
 
 // AsOf performs the rollback operation: it returns the static state that
@@ -156,16 +185,36 @@ func (s *RollbackStore) AsOf(t temporal.Chronon) []tuple.Tuple {
 	var out []tuple.Tuple
 	if s.useIndex {
 		s.byTrans.Stab(t, func(_ temporal.Interval, pos int) bool {
-			out = append(out, s.rows[pos].data)
+			out = append(out, s.log.Row(pos).Data)
 			return true
 		})
 		return out
 	}
-	for _, row := range s.rows {
-		if row.trans.Contains(t) {
-			out = append(out, row.data)
-		}
-	}
+	s.log.ScanAsOf(t, nil, func(_ int, r segment.Row) bool {
+		out = append(out, r.Data)
+		return true
+	})
+	return out
+}
+
+// AsOfVersions is AsOf keeping the version stamps, in commit order — the
+// shape the relation facade's VisibleVersions needs. The scan always takes
+// the segment path so its zone maps can skip fully-superseded history.
+func (s *RollbackStore) AsOfVersions(t temporal.Chronon) []Version {
+	return s.AsOfVersionsFiltered(t, nil)
+}
+
+// AsOfVersionsFiltered is AsOfVersions with optional comparison pre-filters
+// evaluated on the segment columns before materialization. Acceleration
+// only: callers re-verify the originating predicate on the returned
+// versions.
+func (s *RollbackStore) AsOfVersionsFiltered(t temporal.Chronon, filters []*segment.Filter) []Version {
+	countRead(StaticRollback)
+	var out []Version
+	s.log.ScanAsOf(t, filters, func(_ int, r segment.Row) bool {
+		out = append(out, Version{Data: r.Data, Valid: temporal.All, Trans: r.Trans})
+		return true
+	})
 	return out
 }
 
@@ -176,8 +225,15 @@ func (s *RollbackStore) AsOf(t temporal.Chronon) []tuple.Tuple {
 func (s *RollbackStore) During(window temporal.Interval) []Version {
 	countRead(StaticRollback)
 	var out []Version
-	s.byTrans.Overlapping(window, func(iv temporal.Interval, pos int) bool {
-		out = append(out, Version{Data: s.rows[pos].data, Valid: temporal.All, Trans: iv})
+	if s.useIndex {
+		s.byTrans.Overlapping(window, func(iv temporal.Interval, pos int) bool {
+			out = append(out, Version{Data: s.log.Row(pos).Data, Valid: temporal.All, Trans: iv})
+			return true
+		})
+		return out
+	}
+	s.log.ScanTransOverlap(window, func(_ int, r segment.Row) bool {
+		out = append(out, Version{Data: r.Data, Valid: temporal.All, Trans: r.Trans})
 		return true
 	})
 	return out
@@ -187,11 +243,10 @@ func (s *RollbackStore) During(window temporal.Interval) []Version {
 func (s *RollbackStore) Snapshot(now temporal.Chronon) []tuple.Tuple {
 	countRead(StaticRollback)
 	var out []tuple.Tuple
-	for _, row := range s.rows {
-		if row.trans.To == temporal.Forever {
-			out = append(out, row.data)
-		}
-	}
+	s.log.ScanCurrent(nil, func(_ int, r segment.Row) bool {
+		out = append(out, r.Data)
+		return true
+	})
 	_ = now
 	return out
 }
@@ -199,17 +254,26 @@ func (s *RollbackStore) Snapshot(now temporal.Chronon) []tuple.Tuple {
 // Versions yields every stored version; valid time is reported as the
 // universal interval since the kind does not model it.
 func (s *RollbackStore) Versions(fn func(Version) bool) {
-	for _, row := range s.rows {
-		if !fn(Version{Data: row.data, Valid: temporal.All, Trans: row.trans}) {
-			return
-		}
-	}
+	s.log.Scan(func(_ int, r segment.Row) bool {
+		return fn(Version{Data: r.Data, Valid: temporal.All, Trans: r.Trans})
+	})
+}
+
+// ScanKey yields every stored version whose key hash matches, in commit
+// order, skipping sealed segments via their bloom filters. Callers must
+// still compare the key projection: hashes can collide.
+func (s *RollbackStore) ScanKey(kh uint64, fn func(Version) bool) {
+	countRead(StaticRollback)
+	s.log.ScanKey(kh, func(_ int, r segment.Row) bool {
+		return fn(Version{Data: r.Data, Valid: temporal.All, Trans: r.Trans})
+	})
 }
 
 // RestoreVersion reloads one stored version verbatim, including superseded
 // ones. It exists solely for checkpoint recovery: it bypasses the update
 // algebra (the version's transaction period is taken as recorded) while
-// preserving the append-only invariants thereafter.
+// preserving the append-only invariants thereafter. Restored tails seal on
+// the same threshold as live commits.
 func (s *RollbackStore) RestoreVersion(v Version) error {
 	if err := validate(s.sch, v.Data); err != nil {
 		return err
@@ -217,10 +281,10 @@ func (s *RollbackStore) RestoreVersion(v Version) error {
 	if !v.Trans.IsValid() || !v.Trans.From.IsFinite() {
 		return fmt.Errorf("core: restoring version with malformed transaction period %v", v.Trans)
 	}
-	s.rows = append(s.rows, rbRow{data: v.Data.Clone(), trans: v.Trans})
-	pos := len(s.rows) - 1
+	key := v.Data.Key(s.sch)
+	pos := s.log.Append(segment.Row{Data: v.Data.Clone(), Valid: temporal.All, Trans: v.Trans, KeyHash: key.Hash64()})
 	if v.Trans.To == temporal.Forever {
-		s.byKey.Add(v.Data.Key(s.sch).Hash64(), pos)
+		s.byKey.Add(key.Hash64(), pos)
 	}
 	s.byTrans.Insert(v.Trans, pos)
 	if v.Trans.From > s.lastCommit {
@@ -229,16 +293,38 @@ func (s *RollbackStore) RestoreVersion(v Version) error {
 	if v.Trans.To.IsFinite() && v.Trans.To > s.lastCommit {
 		s.lastCommit = v.Trans.To
 	}
+	s.log.Seal()
+	return nil
+}
+
+// RestoreSegment reattaches a checkpoint segment block and indexes its rows.
+// Blocks arrive in position order before any row-wise tail versions.
+func (s *RollbackStore) RestoreSegment(g *segment.Segment) error {
+	if err := s.log.RestoreSegment(g); err != nil {
+		return err
+	}
+	for i := 0; i < g.Len(); i++ {
+		pos := g.Start() + i
+		tr := s.log.Trans(pos)
+		s.byTrans.Insert(tr, pos)
+		if tr.To == temporal.Forever {
+			s.byKey.Add(s.log.KeyHash(pos), pos)
+		}
+		if tr.From > s.lastCommit {
+			s.lastCommit = tr.From
+		}
+		if tr.To.IsFinite() && tr.To > s.lastCommit {
+			s.lastCommit = tr.To
+		}
+	}
 	return nil
 }
 
 // Scan calls fn for every current tuple.
 func (s *RollbackStore) Scan(fn func(tuple.Tuple) bool) {
-	for _, row := range s.rows {
-		if row.trans.To == temporal.Forever && !fn(row.data) {
-			return
-		}
-	}
+	s.log.ScanCurrent(nil, func(_ int, r segment.Row) bool {
+		return fn(r.Data)
+	})
 }
 
 func (s *RollbackStore) admit(at temporal.Chronon) error {
@@ -256,8 +342,8 @@ func (s *RollbackStore) admit(at temporal.Chronon) error {
 
 func (s *RollbackStore) current(key tuple.Tuple) (int, bool) {
 	for _, pos := range s.byKey.Lookup(key.Hash64()) {
-		row := s.rows[pos]
-		if row.trans.To == temporal.Forever && tuple.Equal(row.data.Key(s.sch), key) {
+		row := s.log.Row(pos)
+		if row.Trans.To == temporal.Forever && tuple.Equal(row.Data.Key(s.sch), key) {
 			return pos, true
 		}
 	}
@@ -266,28 +352,27 @@ func (s *RollbackStore) current(key tuple.Tuple) (int, bool) {
 
 func (s *RollbackStore) append(t, key tuple.Tuple, at temporal.Chronon) {
 	iv := temporal.Since(at)
-	s.rows = append(s.rows, rbRow{data: t, trans: iv})
-	pos := len(s.rows) - 1
 	kh := key.Hash64()
+	pos := s.log.Append(segment.Row{Data: t, Valid: temporal.All, Trans: iv, KeyHash: kh})
 	s.byKey.Add(kh, pos)
 	s.byTrans.Insert(iv, pos)
 	s.j.record(func() {
 		s.byTrans.Remove(iv, pos)
 		s.byKey.Remove(kh, pos)
-		s.rows = s.rows[:pos] // LIFO undo: pos is the last row
+		s.log.TruncateTail(pos) // LIFO undo: pos is the last row
 	})
 }
 
 func (s *RollbackStore) close(pos int, key tuple.Tuple, at temporal.Chronon) {
-	old := s.rows[pos].trans
+	old := s.log.Trans(pos)
 	closed := temporal.Interval{From: old.From, To: at}
-	s.rows[pos].trans = closed
+	s.log.CloseTrans(pos, at)
 	kh := key.Hash64()
 	s.byKey.Remove(kh, pos)
 	s.byTrans.Update(old, pos, closed)
 	s.j.record(func() {
 		s.byTrans.Update(closed, pos, old)
 		s.byKey.Add(kh, pos)
-		s.rows[pos].trans = old
+		s.log.CloseTrans(pos, old.To)
 	})
 }

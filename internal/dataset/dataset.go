@@ -67,6 +67,12 @@ type Config struct {
 	// RetractFraction in [0,1] is the share of updates that retract
 	// rather than assert.
 	RetractFraction float64
+	// BoundedFraction in [0,1] is the share of assertions with a bounded
+	// valid period (from..to) instead of from..forever. Bounded versions
+	// whose period ends before the next update are never superseded, so
+	// they stay current forever — raising this spreads permanently-current
+	// rows across the whole history.
+	BoundedFraction float64
 	// Start is the first commit chronon; Step the gap between commits.
 	Start temporal.Chronon
 	Step  int64
@@ -81,6 +87,7 @@ func DefaultConfig() Config {
 		VersionsPerEntity: 10,
 		RetroFraction:     0.2,
 		RetractFraction:   0.1,
+		BoundedFraction:   0.25,
 		Start:             temporal.Date(1977, 1, 1),
 		Step:              86400, // one day per commit
 		Seed:              1985,
@@ -115,7 +122,7 @@ func History(cfg Config) []Event {
 			from = commit.Add(-cfg.Step * int64(1+r.Intn(100)))
 		}
 		ev.Valid = temporal.Since(from)
-		if r.Intn(4) == 0 { // bounded periods exercise splitting
+		if r.Float64() < cfg.BoundedFraction { // bounded periods exercise splitting
 			ev.Valid.To = from.Add(cfg.Step * int64(1+r.Intn(200)))
 		}
 		events = append(events, ev)

@@ -33,6 +33,36 @@ func TestAllFiguresRegenerate(t *testing.T) {
 	}
 }
 
+// All thirteen figures must render byte-identically whether the stores
+// sit on columnar segments (seal threshold forced to 2, so every figure
+// relation seals) or on the flat row log (segments disabled). The figures
+// read every store kind through every query path — snapshot, rollback,
+// when, bitemporal — so agreement here is the end-to-end storage
+// differential.
+func TestFiguresSegmentsDifferential(t *testing.T) {
+	base, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("TDB_DISABLE_SEGMENTS", "") // force segments on even in the ablation CI job
+	t.Setenv("TDB_SEGMENT_ROWS", "2")
+	sealed, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed != base {
+		t.Error("figures drift when relations seal into segments")
+	}
+	t.Setenv("TDB_DISABLE_SEGMENTS", "1")
+	flat, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat != base {
+		t.Error("figures drift with segments disabled")
+	}
+}
+
 // The exact rows of the paper's central figures.
 func TestFigure8RowsMatchPaper(t *testing.T) {
 	db, err := PaperDB()

@@ -1,0 +1,55 @@
+package segment
+
+import "math/bits"
+
+// bloom is a fixed-shape bloom filter over 64-bit key hashes, built once at
+// seal time. Key scans (audit trails, history fallbacks) test it before
+// walking a segment; a false positive only costs a scan, never correctness.
+// Three probes into ~10 bits per key give a false-positive rate around 1%.
+type bloom struct {
+	bits []uint64
+	mask uint64 // len(bits)*64 - 1; sizes are powers of two
+}
+
+// newBloom builds a filter sized for the given hashes.
+func newBloom(hashes []uint64) bloom {
+	n := len(hashes)
+	if n == 0 {
+		return bloom{}
+	}
+	// ~10 bits per key, rounded up to a power-of-two word count.
+	words := 1
+	for words*64 < n*10 {
+		words <<= 1
+	}
+	b := bloom{bits: make([]uint64, words), mask: uint64(words*64 - 1)}
+	for _, h := range hashes {
+		b.add(h)
+	}
+	return b
+}
+
+// probes derives three bit positions from one 64-bit hash (double hashing:
+// h1 + i*h2 with an odd h2 so every probe stride is coprime to the size).
+func (b bloom) probes(h uint64) (p1, p2, p3 uint64) {
+	h2 := bits.RotateLeft64(h, 31) | 1
+	return h & b.mask, (h + h2) & b.mask, (h + 2*h2) & b.mask
+}
+
+func (b *bloom) add(h uint64) {
+	p1, p2, p3 := b.probes(h)
+	b.bits[p1>>6] |= 1 << (p1 & 63)
+	b.bits[p2>>6] |= 1 << (p2 & 63)
+	b.bits[p3>>6] |= 1 << (p3 & 63)
+}
+
+// mayContain reports whether h could be in the set (no false negatives).
+func (b bloom) mayContain(h uint64) bool {
+	if len(b.bits) == 0 {
+		return false
+	}
+	p1, p2, p3 := b.probes(h)
+	return b.bits[p1>>6]&(1<<(p1&63)) != 0 &&
+		b.bits[p2>>6]&(1<<(p2&63)) != 0 &&
+		b.bits[p3>>6]&(1<<(p3&63)) != 0
+}

@@ -1,0 +1,289 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"tdb/internal/schema"
+	"tdb/internal/tuple"
+	"tdb/internal/value"
+	"tdb/temporal"
+)
+
+// Block codec: a sealed segment serializes into one self-delimiting block,
+// the unit a checkpoint snapshot (and, eventually, segment-granular
+// replication shipping) moves around. The encoding exploits the append-only
+// shape of the data:
+//
+//   - transFrom is non-decreasing in commit order → first value zigzag,
+//     then unsigned deltas;
+//   - transTo and validTo never precede their From → unsigned distance from
+//     From, with 0 reserved for Forever (the common open end);
+//   - validFrom is near-sorted in time-series workloads → zigzag deltas
+//     between consecutive rows;
+//   - string columns ship their dictionary once plus per-row codes;
+//   - key hashes ship raw (they are incompressible and recomputing a
+//     million key projections at recovery would dominate restore time).
+//
+// The bloom filter and zone maps are not serialized: both derive from the
+// arrays and are rebuilt in one pass at decode.
+
+// AppendBlock appends the encoded segment to dst and returns the result.
+func AppendBlock(dst []byte, g *Segment) []byte {
+	dst = binary.AppendUvarint(dst, uint64(g.start))
+	dst = binary.AppendUvarint(dst, uint64(g.n))
+
+	prev := int64(0)
+	for i, v := range g.transFrom {
+		if i == 0 {
+			dst = appendZigzag(dst, v)
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(v-prev))
+		}
+		prev = v
+	}
+	for i, v := range g.transTo {
+		dst = appendOpenEnd(dst, v, g.transFrom[i])
+	}
+	prev = 0
+	for i, v := range g.validFrom {
+		if i == 0 {
+			dst = appendZigzag(dst, v)
+		} else {
+			dst = appendZigzag(dst, v-prev)
+		}
+		prev = v
+	}
+	for i, v := range g.validTo {
+		dst = appendOpenEnd(dst, v, g.validFrom[i])
+	}
+	for a := range g.cols {
+		c := &g.cols[a]
+		dst = append(dst, byte(c.kind))
+		switch c.kind {
+		case value.Float:
+			for _, f := range c.fls {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+			}
+		case value.String:
+			dst = binary.AppendUvarint(dst, uint64(len(c.dict)))
+			for _, s := range c.dict {
+				dst = binary.AppendUvarint(dst, uint64(len(s)))
+				dst = append(dst, s...)
+			}
+			for _, code := range c.code {
+				dst = binary.AppendUvarint(dst, uint64(code))
+			}
+		default:
+			for _, v := range c.ints {
+				dst = appendZigzag(dst, v)
+			}
+		}
+	}
+	for _, h := range g.keyHash {
+		dst = binary.LittleEndian.AppendUint64(dst, h)
+	}
+	return dst
+}
+
+// DecodeBlock decodes one segment block from the front of src, returning
+// the segment and the bytes consumed. The segment's zone maps, current
+// count and bloom filter are rebuilt from the decoded arrays.
+func DecodeBlock(src []byte, sch *schema.Schema) (*Segment, int, error) {
+	off := 0
+	start, n, err := readUvarint(src, &off)
+	if err != nil {
+		return nil, 0, fmt.Errorf("segment: block start: %w", err)
+	}
+	rows, _, err := readUvarint(src, &off)
+	if err != nil {
+		return nil, 0, fmt.Errorf("segment: block length: %w", err)
+	}
+	_ = n
+	if rows == 0 || rows > uint64(len(src)) {
+		return nil, 0, fmt.Errorf("segment: implausible block of %d rows", rows)
+	}
+	g := &Segment{
+		sch:       sch,
+		start:     int(start),
+		n:         int(rows),
+		transFrom: make([]int64, rows),
+		transTo:   make([]int64, rows),
+		validFrom: make([]int64, rows),
+		validTo:   make([]int64, rows),
+		keyHash:   make([]uint64, rows),
+	}
+	prev := int64(0)
+	for i := range g.transFrom {
+		if i == 0 {
+			if prev, err = readZigzag(src, &off); err != nil {
+				return nil, 0, fmt.Errorf("segment: transFrom: %w", err)
+			}
+		} else {
+			d, _, err := readUvarint(src, &off)
+			if err != nil {
+				return nil, 0, fmt.Errorf("segment: transFrom delta: %w", err)
+			}
+			prev += int64(d)
+		}
+		g.transFrom[i] = prev
+	}
+	for i := range g.transTo {
+		if g.transTo[i], err = readOpenEnd(src, &off, g.transFrom[i]); err != nil {
+			return nil, 0, fmt.Errorf("segment: transTo: %w", err)
+		}
+	}
+	prev = 0
+	for i := range g.validFrom {
+		d, err := readZigzag(src, &off)
+		if err != nil {
+			return nil, 0, fmt.Errorf("segment: validFrom: %w", err)
+		}
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		g.validFrom[i] = prev
+	}
+	for i := range g.validTo {
+		if g.validTo[i], err = readOpenEnd(src, &off, g.validFrom[i]); err != nil {
+			return nil, 0, fmt.Errorf("segment: validTo: %w", err)
+		}
+	}
+	g.cols = make([]column, sch.Arity())
+	for a := range g.cols {
+		if off >= len(src) {
+			return nil, 0, fmt.Errorf("segment: column %d: short block", a)
+		}
+		kind := value.Kind(src[off])
+		off++
+		if want := sch.Attr(a).Type; kind != want {
+			return nil, 0, fmt.Errorf("segment: column %d is %s, schema wants %s", a, kind, want)
+		}
+		c := &g.cols[a]
+		c.kind = kind
+		switch kind {
+		case value.Float:
+			c.fls = make([]float64, rows)
+			for i := range c.fls {
+				if off+8 > len(src) {
+					return nil, 0, fmt.Errorf("segment: column %d: short float", a)
+				}
+				c.fls[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+				off += 8
+			}
+		case value.String:
+			dictLen, _, err := readUvarint(src, &off)
+			if err != nil {
+				return nil, 0, fmt.Errorf("segment: column %d dict: %w", a, err)
+			}
+			if dictLen > uint64(len(src)) {
+				return nil, 0, fmt.Errorf("segment: column %d: implausible dict of %d", a, dictLen)
+			}
+			c.dict = make([]string, dictLen)
+			for d := range c.dict {
+				slen, _, err := readUvarint(src, &off)
+				if err != nil || off+int(slen) > len(src) {
+					return nil, 0, fmt.Errorf("segment: column %d dict entry: short block", a)
+				}
+				c.dict[d] = string(src[off : off+int(slen)])
+				off += int(slen)
+			}
+			c.code = make([]uint32, rows)
+			for i := range c.code {
+				code, _, err := readUvarint(src, &off)
+				if err != nil {
+					return nil, 0, fmt.Errorf("segment: column %d code: %w", a, err)
+				}
+				if code >= dictLen {
+					return nil, 0, fmt.Errorf("segment: column %d code %d outside dict of %d", a, code, dictLen)
+				}
+				c.code[i] = uint32(code)
+			}
+		default:
+			c.ints = make([]int64, rows)
+			for i := range c.ints {
+				if c.ints[i], err = readZigzag(src, &off); err != nil {
+					return nil, 0, fmt.Errorf("segment: column %d: %w", a, err)
+				}
+			}
+		}
+	}
+	for i := range g.keyHash {
+		if off+8 > len(src) {
+			return nil, 0, fmt.Errorf("segment: short key hashes")
+		}
+		g.keyHash[i] = binary.LittleEndian.Uint64(src[off:])
+		off += 8
+	}
+	g.rebuildSummaries()
+	return g, off, nil
+}
+
+// rebuildSummaries recomputes everything derivable from the arrays: time
+// zone maps, current count, attribute zones, and the key bloom filter.
+func (g *Segment) rebuildSummaries() {
+	g.mat = make([]atomic.Pointer[tuple.Tuple], g.n)
+	g.minTransFrom, g.maxTransFrom = math.MaxInt64, math.MinInt64
+	g.maxClosedTo = math.MinInt64
+	g.minValidFrom, g.maxValidTo = math.MaxInt64, math.MinInt64
+	g.current = 0
+	forever := int64(temporal.Forever)
+	for i := 0; i < g.n; i++ {
+		g.minTransFrom = min64(g.minTransFrom, g.transFrom[i])
+		g.maxTransFrom = max64(g.maxTransFrom, g.transFrom[i])
+		if g.transTo[i] == forever {
+			g.current++
+		} else {
+			g.maxClosedTo = max64(g.maxClosedTo, g.transTo[i])
+		}
+		g.minValidFrom = min64(g.minValidFrom, g.validFrom[i])
+		g.maxValidTo = max64(g.maxValidTo, g.validTo[i])
+	}
+	g.bloom = newBloom(g.keyHash)
+	g.buildAttrZones()
+}
+
+// appendOpenEnd encodes an interval end relative to its start: 0 for the
+// open end Forever, otherwise 1 + the unsigned distance from the start.
+func appendOpenEnd(dst []byte, to, from int64) []byte {
+	if to == int64(temporal.Forever) {
+		return binary.AppendUvarint(dst, 0)
+	}
+	return binary.AppendUvarint(dst, uint64(to-from)+1)
+}
+
+func readOpenEnd(src []byte, off *int, from int64) (int64, error) {
+	d, _, err := readUvarint(src, off)
+	if err != nil {
+		return 0, err
+	}
+	if d == 0 {
+		return int64(temporal.Forever), nil
+	}
+	return from + int64(d-1), nil
+}
+
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+func readZigzag(src []byte, off *int) (int64, error) {
+	u, _, err := readUvarint(src, off)
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+func readUvarint(src []byte, off *int) (uint64, int, error) {
+	v, n := binary.Uvarint(src[*off:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("truncated varint")
+	}
+	*off += n
+	return v, n, nil
+}

@@ -1,0 +1,564 @@
+// Package segment implements immutable, time-partitioned columnar storage
+// for the append-only store kinds (static rollback and temporal). Committed
+// history never changes — "each transaction causes a new historical state to
+// be created" — so once a run of versions is no longer the mutable tail of a
+// relation it can be frozen into a Segment: per-attribute columnar arrays
+// (dictionary-encoded strings, raw int64/float64 otherwise) plus per-segment
+// zone maps over transaction time, valid time and every attribute, and a
+// bloom filter over key hashes.
+//
+// Zone maps are what make big scans cheap: an as-of or overlap query
+// consults four int64s per segment before touching any tuple, skipping whole
+// segments whose time bounds cannot contain a match. The one mutation the
+// taxonomy permits on committed data — closing a current version's
+// transaction-time end when it is superseded — is supported in place
+// (transTo is the single mutable column) and only ever shrinks a zone map's
+// reach, so pruning stays sound without rebuilding anything.
+//
+// A Segment is created by Log.Seal from the mutable row-format tail, or
+// reloaded verbatim from a checkpoint block (see encode.go). Sealing
+// re-encodes bytes, it does not change them: TestSealPreservesRows proves
+// the row images before and after a seal are identical.
+package segment
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"tdb/internal/schema"
+	"tdb/internal/tuple"
+	"tdb/internal/value"
+	"tdb/temporal"
+)
+
+// Row is one stored version in commit order: the tuple, its two time
+// periods, and the hash of its key projection (kept alongside so sealing
+// and key scans never re-project).
+type Row struct {
+	Data    tuple.Tuple
+	Valid   temporal.Interval
+	Trans   temporal.Interval
+	KeyHash uint64
+}
+
+// column is one attribute's storage inside a sealed segment.
+type column struct {
+	kind value.Kind
+	ints []int64   // Int, Bool (0/1), Instant payloads
+	fls  []float64 // Float payloads
+	dict []string  // String dictionary, first-seen order
+	code []uint32  // String dictionary codes, one per row
+}
+
+// Segment is an immutable columnar run of versions. All fields except
+// transTo (and the zone-map summaries derived from it) are frozen at seal
+// time. Concurrency follows the stores' discipline: the owning database
+// serializes mutations (CloseTrans) behind its write lock, and readers share
+// its read lock.
+type Segment struct {
+	sch   *schema.Schema
+	start int // global position of the first row
+	n     int
+
+	transFrom []int64
+	transTo   []int64 // the one mutable column: closures of superseded versions
+	validFrom []int64
+	validTo   []int64
+	cols      []column
+	keyHash   []uint64
+	bloom     bloom
+
+	// mat lazily caches materialized tuples, one slot per row, so repeated
+	// scans over the same history decode each row's columns at most once.
+	// The columns stay the source of truth; a cached tuple is immutable and
+	// identical to what materialize would rebuild, so racing fills are
+	// benign and the atomic store keeps them race-detector-clean. Worst
+	// case (every row touched) this grows to the row-format footprint the
+	// flat store would have held anyway, on top of the columns.
+	mat []atomic.Pointer[tuple.Tuple]
+
+	// Zone maps. minTransFrom/maxTransFrom bound the commit span (frozen:
+	// transFrom never changes). maxTransTo is Forever while any version is
+	// current, else the largest closed end; closures keep it exact enough to
+	// prune fully-superseded segments.
+	minTransFrom int64
+	maxTransFrom int64
+	maxClosedTo  int64
+	current      int // versions with transTo == Forever
+	minValidFrom int64
+	maxValidTo   int64
+	attrMin      []value.Value // per-attribute minima (Invalid when untracked)
+	attrMax      []value.Value
+}
+
+// Start returns the global position of the segment's first row.
+func (g *Segment) Start() int { return g.start }
+
+// Len returns the number of rows in the segment.
+func (g *Segment) Len() int { return g.n }
+
+// Current returns the number of rows whose transaction period is open.
+func (g *Segment) Current() int { return g.current }
+
+// seal builds a segment from rows, which become positions start..start+len.
+func seal(sch *schema.Schema, start int, rows []Row) *Segment {
+	g := &Segment{
+		sch:          sch,
+		start:        start,
+		n:            len(rows),
+		transFrom:    make([]int64, len(rows)),
+		transTo:      make([]int64, len(rows)),
+		validFrom:    make([]int64, len(rows)),
+		validTo:      make([]int64, len(rows)),
+		keyHash:      make([]uint64, len(rows)),
+		mat:          make([]atomic.Pointer[tuple.Tuple], len(rows)),
+		minTransFrom: math.MaxInt64,
+		maxTransFrom: math.MinInt64,
+		maxClosedTo:  math.MinInt64,
+		minValidFrom: math.MaxInt64,
+		maxValidTo:   math.MinInt64,
+	}
+	g.cols = make([]column, sch.Arity())
+	for a := range g.cols {
+		g.cols[a].kind = sch.Attr(a).Type
+		switch g.cols[a].kind {
+		case value.Float:
+			g.cols[a].fls = make([]float64, len(rows))
+		case value.String:
+			g.cols[a].code = make([]uint32, len(rows))
+		default:
+			g.cols[a].ints = make([]int64, len(rows))
+		}
+	}
+	dicts := make([]map[string]uint32, sch.Arity())
+	for i, r := range rows {
+		g.transFrom[i] = int64(r.Trans.From)
+		g.transTo[i] = int64(r.Trans.To)
+		g.validFrom[i] = int64(r.Valid.From)
+		g.validTo[i] = int64(r.Valid.To)
+		g.keyHash[i] = r.KeyHash
+		if r.Trans.To == temporal.Forever {
+			g.current++
+		} else if int64(r.Trans.To) > g.maxClosedTo {
+			g.maxClosedTo = int64(r.Trans.To)
+		}
+		g.minTransFrom = min64(g.minTransFrom, int64(r.Trans.From))
+		g.maxTransFrom = max64(g.maxTransFrom, int64(r.Trans.From))
+		g.minValidFrom = min64(g.minValidFrom, int64(r.Valid.From))
+		g.maxValidTo = max64(g.maxValidTo, int64(r.Valid.To))
+		for a := range g.cols {
+			v := r.Data[a]
+			switch g.cols[a].kind {
+			case value.Float:
+				g.cols[a].fls[i] = v.Float()
+			case value.String:
+				if dicts[a] == nil {
+					dicts[a] = make(map[string]uint32)
+				}
+				s := v.Str()
+				code, ok := dicts[a][s]
+				if !ok {
+					code = uint32(len(g.cols[a].dict))
+					g.cols[a].dict = append(g.cols[a].dict, s)
+					dicts[a][s] = code
+				}
+				g.cols[a].code[i] = code
+			case value.Bool:
+				if v.Bool() {
+					g.cols[a].ints[i] = 1
+				}
+			case value.Instant:
+				g.cols[a].ints[i] = int64(v.Instant())
+			default: // Int
+				g.cols[a].ints[i] = v.Int()
+			}
+		}
+	}
+	g.bloom = newBloom(g.keyHash)
+	g.buildAttrZones()
+	return g
+}
+
+// buildAttrZones computes the per-attribute min/max zone maps from the
+// frozen columns (called at seal and after a block decode).
+func (g *Segment) buildAttrZones() {
+	g.attrMin = make([]value.Value, len(g.cols))
+	g.attrMax = make([]value.Value, len(g.cols))
+	if g.n == 0 {
+		return
+	}
+	for a, c := range g.cols {
+		switch c.kind {
+		case value.Float:
+			// Any NaN leaves the zone untracked (Invalid bounds): NaN sorts
+			// after every float in value.Compare's total order, so min/max of
+			// the non-NaN values would under-approximate the column's reach
+			// and an ordered filter could wrongly skip the segment.
+			lo, hi := c.fls[0], c.fls[0]
+			nan := false
+			for _, f := range c.fls {
+				if math.IsNaN(f) {
+					nan = true
+					break
+				}
+				if f < lo {
+					lo = f
+				}
+				if f > hi {
+					hi = f
+				}
+			}
+			if !nan {
+				g.attrMin[a], g.attrMax[a] = value.NewFloat(lo), value.NewFloat(hi)
+			}
+		case value.String:
+			if len(c.dict) == 0 {
+				continue
+			}
+			lo, hi := c.dict[0], c.dict[0]
+			for _, s := range c.dict[1:] {
+				if s < lo {
+					lo = s
+				}
+				if s > hi {
+					hi = s
+				}
+			}
+			g.attrMin[a], g.attrMax[a] = value.NewString(lo), value.NewString(hi)
+		default:
+			lo, hi := c.ints[0], c.ints[0]
+			for _, v := range c.ints[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			switch c.kind {
+			case value.Instant:
+				g.attrMin[a] = value.NewInstant(temporal.Chronon(lo))
+				g.attrMax[a] = value.NewInstant(temporal.Chronon(hi))
+			case value.Bool:
+				g.attrMin[a] = value.NewBool(lo != 0)
+				g.attrMax[a] = value.NewBool(hi != 0)
+			default:
+				g.attrMin[a] = value.NewInt(lo)
+				g.attrMax[a] = value.NewInt(hi)
+			}
+		}
+	}
+}
+
+// AttrZone returns the segment's min/max zone for attribute a. Invalid
+// values mean the bound is untracked (e.g. a NaN-bearing float column) and
+// the caller must not prune on it.
+func (g *Segment) AttrZone(a int) (lo, hi value.Value) {
+	return g.attrMin[a], g.attrMax[a]
+}
+
+// maxTransTo returns the largest transaction-time end in the segment:
+// Forever while any version is still current.
+func (g *Segment) maxTransTo() int64 {
+	if g.current > 0 {
+		return int64(temporal.Forever)
+	}
+	return g.maxClosedTo
+}
+
+// row materializes row i (0-based within the segment). Strings share the
+// dictionary's backing; no payload bytes are copied.
+func (g *Segment) row(i int) Row {
+	return Row{
+		Data:    g.materialize(i),
+		Valid:   temporal.Interval{From: temporal.Chronon(g.validFrom[i]), To: temporal.Chronon(g.validTo[i])},
+		Trans:   temporal.Interval{From: temporal.Chronon(g.transFrom[i]), To: temporal.Chronon(g.transTo[i])},
+		KeyHash: g.keyHash[i],
+	}
+}
+
+func (g *Segment) materialize(i int) tuple.Tuple {
+	if p := g.mat[i].Load(); p != nil {
+		return *p
+	}
+	t := make(tuple.Tuple, len(g.cols))
+	for a := range g.cols {
+		switch g.cols[a].kind {
+		case value.Float:
+			t[a] = value.NewFloat(g.cols[a].fls[i])
+		case value.String:
+			t[a] = value.NewString(g.cols[a].dict[g.cols[a].code[i]])
+		case value.Bool:
+			t[a] = value.NewBool(g.cols[a].ints[i] != 0)
+		case value.Instant:
+			t[a] = value.NewInstant(temporal.Chronon(g.cols[a].ints[i]))
+		default:
+			t[a] = value.NewInt(g.cols[a].ints[i])
+		}
+	}
+	g.mat[i].Store(&t)
+	return t
+}
+
+// Each materializes every row in order, stopping early on false. Recovery
+// uses it to flatten a decoded block when the segment path is disabled.
+func (g *Segment) Each(fn func(Row) bool) {
+	for i := 0; i < g.n; i++ {
+		if !fn(g.row(i)) {
+			return
+		}
+	}
+}
+
+// closeTrans sets row i's transaction-time end (the one permitted mutation:
+// superseding a current version) and maintains the zone map. undo is done by
+// calling it again with the prior end.
+func (g *Segment) closeTrans(i int, to temporal.Chronon) {
+	was := temporal.Chronon(g.transTo[i])
+	g.transTo[i] = int64(to)
+	if was == temporal.Forever && to != temporal.Forever {
+		g.current--
+		g.maxClosedTo = max64(g.maxClosedTo, int64(to))
+	} else if was != temporal.Forever && to == temporal.Forever {
+		// Transaction abort restoring a closure. maxClosedTo keeps the stale
+		// bound — zone maps may only over-approximate, never under.
+		g.current++
+	} else if to != temporal.Forever {
+		g.maxClosedTo = max64(g.maxClosedTo, int64(to))
+	}
+}
+
+// pruneAsOf reports whether no row in the segment can be current as of t:
+// every row was asserted after t, or every row was superseded by t.
+func (g *Segment) pruneAsOf(t temporal.Chronon) bool {
+	return g.minTransFrom > int64(t) || int64(t) >= g.maxTransTo()
+}
+
+// pruneValid reports whether no row's valid period can overlap q.
+func (g *Segment) pruneValid(q temporal.Interval) bool {
+	return int64(q.To) <= g.minValidFrom || int64(q.From) >= g.maxValidTo
+}
+
+// pruneTransWindow reports whether no row's transaction period can overlap
+// the window.
+func (g *Segment) pruneTransWindow(w temporal.Interval) bool {
+	return int64(w.To) <= g.minTransFrom || int64(w.From) >= g.maxTransTo()
+}
+
+// Op is a Filter's comparison operator.
+type Op uint8
+
+const (
+	OpEq Op = iota
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// match reports whether row i's attribute a satisfies the pre-resolved
+// filter; see Filter.
+func (f *Filter) match(g *Segment, i int) bool {
+	c := &g.cols[f.Attr]
+	switch c.kind {
+	case value.Float:
+		return cmpOK(f.Op, cmpFloat(c.fls[i], f.f))
+	case value.String:
+		return c.code[i] == f.code // strings are equality-only
+	default:
+		return cmpOK(f.Op, cmpInt(c.ints[i], f.i))
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// cmpFloat mirrors value.Compare's total float order: NaN sorts after every
+// non-NaN. The constructor rejects NaN constants, so b is never NaN and a NaN
+// row value always compares greater — exactly what the evaluator computes.
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	}
+	return 1 // a is NaN
+}
+
+// cmpOK maps a three-way comparison (row value vs filter constant) to the
+// filter's operator.
+func cmpOK(op Op, c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	default: // OpGe
+		return c >= 0
+	}
+}
+
+// Filter is a single-attribute comparison pre-filter (attr OP constant)
+// evaluated directly on a segment's columns before any tuple is
+// materialized. It is an acceleration only: callers keep the originating
+// conjunct and re-verify it on the materialized row, so a Filter can never
+// change an answer — only shrink the set of rows materialized. Build one
+// with NewEqFilter or NewCmpFilter.
+type Filter struct {
+	Attr int
+	Op   Op
+	val  value.Value
+	i    int64
+	f    float64
+
+	// per-segment resolution for dictionary columns
+	code  uint32
+	skip  bool // value absent from this segment's dictionary / zone
+	fresh *Segment
+}
+
+// NewEqFilter builds an equality filter on attribute attr of sch. It returns
+// ok=false when the value's kind does not exactly match the attribute's
+// declared kind — coercing comparisons (int against float) stay with the
+// expression evaluator.
+func NewEqFilter(sch *schema.Schema, attr int, v value.Value) (*Filter, bool) {
+	return NewCmpFilter(sch, attr, OpEq, v)
+}
+
+// NewCmpFilter builds a comparison filter attr OP v. Ordered operators are
+// limited to Int, Instant and Float columns: string dictionaries are stored
+// in first-seen order so codes cannot be range-compared, and ordering booleans
+// is evaluator business. Exact-kind matching as with NewEqFilter.
+func NewCmpFilter(sch *schema.Schema, attr int, op Op, v value.Value) (*Filter, bool) {
+	if attr < 0 || attr >= sch.Arity() || sch.Attr(attr).Type != v.Kind() {
+		return nil, false
+	}
+	f := &Filter{Attr: attr, Op: op, val: v}
+	switch v.Kind() {
+	case value.Float:
+		f.f = v.Float()
+		if math.IsNaN(f.f) {
+			return nil, false // NaN comparisons are evaluator business
+		}
+	case value.String:
+		if op != OpEq {
+			return nil, false
+		}
+	case value.Bool:
+		if op != OpEq {
+			return nil, false
+		}
+		if v.Bool() {
+			f.i = 1
+		}
+	case value.Instant:
+		f.i = int64(v.Instant())
+	case value.Int:
+		f.i = v.Int()
+	default:
+		return nil, false
+	}
+	return f, true
+}
+
+// resolve binds the filter to a segment: zone-map check plus dictionary
+// lookup for string columns. Returns false when the whole segment can be
+// skipped for this filter.
+func (f *Filter) resolve(g *Segment) bool {
+	if f.fresh != g {
+		f.fresh = g
+		f.skip = false
+		lo, hi := g.AttrZone(f.Attr)
+		if lo.IsValid() && hi.IsValid() {
+			cl, errl := value.Compare(f.val, lo) // filter constant vs zone min
+			ch, errh := value.Compare(f.val, hi) // filter constant vs zone max
+			switch f.Op {
+			case OpEq:
+				if (errl == nil && cl < 0) || (errh == nil && ch > 0) {
+					f.skip = true // constant outside [min,max]
+				}
+			case OpLt:
+				if errl == nil && cl <= 0 {
+					f.skip = true // min >= constant: no row is below it
+				}
+			case OpLe:
+				if errl == nil && cl < 0 {
+					f.skip = true // min > constant
+				}
+			case OpGt:
+				if errh == nil && ch >= 0 {
+					f.skip = true // max <= constant: no row is above it
+				}
+			case OpGe:
+				if errh == nil && ch > 0 {
+					f.skip = true // max < constant
+				}
+			}
+		}
+		if !f.skip && g.cols[f.Attr].kind == value.String {
+			f.skip = true
+			want := f.val.Str()
+			for code, s := range g.cols[f.Attr].dict {
+				if s == want {
+					f.code = uint32(code)
+					f.skip = false
+					break
+				}
+			}
+		}
+	}
+	return !f.skip
+}
+
+// Match evaluates the filter against a materialized row (the tail path,
+// where no columns exist). Same exact-kind semantics as the columnar path.
+func (f *Filter) Match(t tuple.Tuple) bool {
+	if f.Op == OpEq {
+		return value.Equal(t[f.Attr], f.val)
+	}
+	c, err := value.Compare(t[f.Attr], f.val)
+	if err != nil {
+		return true // incomparable: defer to the evaluator
+	}
+	return cmpOK(f.Op, c)
+}
+
+// Stats summarizes a log's segmentation for Stats()/statz.
+type Stats struct {
+	Segments   int // sealed segments resident
+	SealedRows int // rows inside sealed segments
+	TailRows   int // rows still in the mutable tail
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("segments=%d sealed=%d tail=%d", s.Segments, s.SealedRows, s.TailRows)
+}
+
+func min64(a, b int64) int64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func max64(a, b int64) int64 {
+	if b > a {
+		return b
+	}
+	return a
+}

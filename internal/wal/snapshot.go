@@ -10,6 +10,7 @@ import (
 
 	"tdb/internal/core"
 	"tdb/internal/schema"
+	"tdb/internal/segment"
 	"tdb/internal/tuple"
 	"tdb/internal/vfs"
 	"tdb/temporal"
@@ -35,16 +36,32 @@ type Snapshot struct {
 // query cache keyed by write versions is never served stale after recovery
 // (the restored counter resumes where the live one stopped instead of
 // restarting from zero).
+//
+// Append-only relations split their contents in two: Segments holds the
+// sealed columnar segments (encoded as blocks, positions preceding every
+// tail version), and Versions holds only the unsealed tail. Relations
+// without segments — static, historical, or append-only stores that never
+// reached the seal threshold — put everything in Versions, exactly as the
+// v2 format did.
 type RelationSnapshot struct {
 	Name         string
 	Kind         core.Kind
 	Event        bool
 	Schema       *schema.Schema
 	WriteVersion uint64
+	Segments     []*segment.Segment
 	Versions     []core.Version
 }
 
-var snapMagic = []byte("TDBSNAP2")
+// Snapshot magics. v2 is the legacy row-wise layout; v3 inserts a columnar
+// segment-block section per relation between WriteVersion and the version
+// list. New snapshots are always written v3; decode accepts both, so
+// upgrades (and followers receiving a primary's raw snapshot bytes) work
+// without a migration step.
+var (
+	snapMagic  = []byte("TDBSNAP2")
+	snapMagic3 = []byte("TDBSNAP3")
+)
 
 // ErrSnapshotCorrupt reports a snapshot failing its checksum or structure.
 var ErrSnapshotCorrupt = errors.New("wal: snapshot corrupt")
@@ -65,6 +82,12 @@ func EncodeSnapshot(s Snapshot) []byte {
 		}
 		payload = appendSchema(payload, r.Schema)
 		payload = binary.AppendUvarint(payload, r.WriteVersion)
+		payload = binary.AppendUvarint(payload, uint64(len(r.Segments)))
+		for _, g := range r.Segments {
+			block := segment.AppendBlock(nil, g)
+			payload = binary.AppendUvarint(payload, uint64(len(block)))
+			payload = append(payload, block...)
+		}
 		payload = binary.AppendUvarint(payload, uint64(len(r.Versions)))
 		for _, v := range r.Versions {
 			payload = v.Data.AppendBinary(payload)
@@ -72,10 +95,13 @@ func EncodeSnapshot(s Snapshot) []byte {
 			payload = appendInterval(payload, v.Trans)
 		}
 	}
-	out := make([]byte, 0, len(snapMagic)+len(payload)+4)
-	out = append(out, snapMagic...)
+	out := make([]byte, 0, len(snapMagic3)+len(payload)+4)
+	out = append(out, snapMagic3...)
 	out = append(out, payload...)
-	return binary.BigEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	// v3 checksums the magic too: the two magics differ in a single bit, so
+	// a payload-only CRC would let one flipped bit silently reinterpret the
+	// whole layout under the other format.
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
 }
 
 // DecodeSnapshot parses an encoded snapshot, verifying magic and CRC.
@@ -84,12 +110,21 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	if len(data) < len(snapMagic)+4 {
 		return s, fmt.Errorf("%w: short file", ErrSnapshotCorrupt)
 	}
-	if string(data[:len(snapMagic)]) != string(snapMagic) {
+	var v3 bool
+	switch string(data[:len(snapMagic)]) {
+	case string(snapMagic):
+	case string(snapMagic3):
+		v3 = true
+	default:
 		return s, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
 	}
 	payload := data[len(snapMagic) : len(data)-4]
 	sum := binary.BigEndian.Uint32(data[len(data)-4:])
-	if crc32.Checksum(payload, crcTable) != sum {
+	crcInput := payload // v2 covered the payload only
+	if v3 {
+		crcInput = data[:len(data)-4]
+	}
+	if crc32.Checksum(crcInput, crcTable) != sum {
 		return s, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
 	}
 	last, off, err := decodeChronon(payload)
@@ -140,6 +175,32 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 		}
 		off += n
 		r.WriteVersion = wv
+		if v3 {
+			nSegs, n := binary.Uvarint(payload[off:])
+			if n <= 0 {
+				return s, fmt.Errorf("%w: segment count", ErrSnapshotCorrupt)
+			}
+			off += n
+			for j := uint64(0); j < nSegs; j++ {
+				blen, n := binary.Uvarint(payload[off:])
+				if n <= 0 {
+					return s, fmt.Errorf("%w: segment block length", ErrSnapshotCorrupt)
+				}
+				off += n
+				if blen > uint64(len(payload)-off) {
+					return s, fmt.Errorf("%w: segment block truncated", ErrSnapshotCorrupt)
+				}
+				g, used, err := segment.DecodeBlock(payload[off:off+int(blen)], r.Schema)
+				if err != nil {
+					return s, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+				}
+				if used != int(blen) {
+					return s, fmt.Errorf("%w: segment block has %d trailing bytes", ErrSnapshotCorrupt, int(blen)-used)
+				}
+				off += int(blen)
+				r.Segments = append(r.Segments, g)
+			}
+		}
 		nVers, n := binary.Uvarint(payload[off:])
 		if n <= 0 {
 			return s, fmt.Errorf("%w: version count", ErrSnapshotCorrupt)

@@ -1,11 +1,15 @@
 package wal
 
 import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"path/filepath"
 	"testing"
 
 	"tdb/internal/core"
+	"tdb/internal/segment"
 	"tdb/internal/tuple"
 	"tdb/internal/value"
 	"tdb/temporal"
@@ -96,6 +100,101 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	dec, _, err = ReadSnapshot(nil, path)
 	if err != nil || dec.Records != 0 {
 		t.Fatalf("overwrite: %+v, %v", dec, err)
+	}
+}
+
+// sealedSampleSegment builds one sealed segment of n promo rows.
+func sealedSampleSegment(t *testing.T, n int) *segment.Segment {
+	t.Helper()
+	lg := segment.NewLog(promoSchema(t))
+	lg.SetDisabled(false) // the fixture must seal even under ablation env knobs
+	for i := 0; i < n; i++ {
+		to := temporal.Forever
+		if i%3 == 0 {
+			to = temporal.Chronon(i + 100)
+		}
+		lg.Append(segment.Row{
+			Data:    tuple.New(value.NewString(fmt.Sprintf("p%03d", i)), value.NewString("assoc"), value.NewInstant(temporal.Chronon(i))),
+			Valid:   temporal.Since(temporal.Chronon(i)),
+			Trans:   temporal.Interval{From: temporal.Chronon(i), To: to},
+			KeyHash: uint64(i) * 0x9e3779b97f4a7c15,
+		})
+	}
+	if !lg.SealNow() {
+		t.Fatal("seal failed")
+	}
+	return lg.Segments()[0]
+}
+
+func TestSnapshotSegmentsRoundTrip(t *testing.T) {
+	s := sampleSnapshot(t)
+	s.Relations[0].Segments = []*segment.Segment{sealedSampleSegment(t, 64)}
+	dec, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapshotsEqual(s, dec) {
+		t.Fatal("row-wise parts drifted")
+	}
+	if len(dec.Relations[0].Segments) != 1 || len(dec.Relations[1].Segments) != 0 {
+		t.Fatalf("segment counts: %d, %d", len(dec.Relations[0].Segments), len(dec.Relations[1].Segments))
+	}
+	var want, got []segment.Row
+	s.Relations[0].Segments[0].Each(func(r segment.Row) bool { want = append(want, r); return true })
+	dec.Relations[0].Segments[0].Each(func(r segment.Row) bool { got = append(got, r); return true })
+	if len(want) != len(got) {
+		t.Fatalf("segment rows: want %d got %d", len(want), len(got))
+	}
+	for i := range want {
+		if !tuple.Equal(want[i].Data, got[i].Data) || want[i].Valid != got[i].Valid ||
+			want[i].Trans != got[i].Trans || want[i].KeyHash != got[i].KeyHash {
+			t.Fatalf("segment row %d: want %+v got %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// encodeSnapshotV2 reproduces the legacy row-wise layout byte for byte, so
+// decode keeps accepting snapshots written before the segment era.
+func encodeSnapshotV2(s Snapshot) []byte {
+	payload := appendChronon(nil, s.LastCommit)
+	payload = binary.AppendUvarint(payload, s.Epoch)
+	payload = binary.AppendUvarint(payload, uint64(s.Records))
+	payload = binary.AppendUvarint(payload, uint64(len(s.Relations)))
+	for _, r := range s.Relations {
+		payload = appendString(payload, r.Name)
+		payload = append(payload, byte(r.Kind))
+		if r.Event {
+			payload = append(payload, 1)
+		} else {
+			payload = append(payload, 0)
+		}
+		payload = appendSchema(payload, r.Schema)
+		payload = binary.AppendUvarint(payload, r.WriteVersion)
+		payload = binary.AppendUvarint(payload, uint64(len(r.Versions)))
+		for _, v := range r.Versions {
+			payload = v.Data.AppendBinary(payload)
+			payload = appendInterval(payload, v.Valid)
+			payload = appendInterval(payload, v.Trans)
+		}
+	}
+	out := append([]byte{}, snapMagic...)
+	out = append(out, payload...)
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+}
+
+func TestSnapshotLegacyV2Decode(t *testing.T) {
+	s := sampleSnapshot(t)
+	dec, err := DecodeSnapshot(encodeSnapshotV2(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapshotsEqual(s, dec) {
+		t.Fatal("legacy decode mismatch")
+	}
+	for _, r := range dec.Relations {
+		if len(r.Segments) != 0 {
+			t.Fatalf("legacy snapshot grew segments: %q", r.Name)
+		}
 	}
 }
 

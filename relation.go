@@ -5,6 +5,7 @@ import (
 
 	"tdb/internal/catalog"
 	"tdb/internal/core"
+	"tdb/internal/segment"
 	"tdb/temporal"
 )
 
@@ -177,12 +178,23 @@ func (r *Relation) AuditTrail(key Tuple) ([]Version, error) {
 	}
 	sch := r.rel.Schema()
 	var out []Version
-	r.rel.Store().Versions(func(v Version) bool {
+	keep := func(v Version) bool {
 		if TupleEqual(v.Data.Key(sch), key) {
 			out = append(out, v)
 		}
 		return true
-	})
+	}
+	type keyScanner interface {
+		ScanKey(kh uint64, fn func(core.Version) bool)
+	}
+	if s, ok := r.rel.Store().(keyScanner); ok {
+		// Segmented stores route the scan through their per-segment key
+		// bloom filters; the key comparison above still guards against
+		// hash collisions.
+		s.ScanKey(key.Hash64(), keep)
+	} else {
+		r.rel.Store().Versions(keep)
+	}
 	return out, nil
 }
 
@@ -213,6 +225,18 @@ func (r *Relation) VersionCount() int {
 // executor binds range variables to. The returned slice is a private copy,
 // safe to read from any number of goroutines (see the type comment).
 func (r *Relation) VisibleVersions(asOf temporal.Chronon, hasAsOf bool) ([]Version, error) {
+	return r.VisibleVersionsFiltered(asOf, hasAsOf, nil)
+}
+
+// VisibleVersionsFiltered is VisibleVersions with optional comparison
+// pre-filters (built with EqFilter/CmpFilter) evaluated on the columnar
+// segments — and, on the interval-indexed as-of path, per stabbed position —
+// before any tuple is materialized. Filters are an acceleration only:
+// callers keep the originating conjuncts and re-verify them on the returned
+// versions, so a filter can never change an answer, only shrink the set of
+// versions materialized. Stores without columnar segments apply the filters
+// row-wise, which is equally sound.
+func (r *Relation) VisibleVersionsFiltered(asOf temporal.Chronon, hasAsOf bool, filters []*segment.Filter) ([]Version, error) {
 	r.db.mu.RLock()
 	defer r.db.mu.RUnlock()
 	st := r.rel.Store()
@@ -226,26 +250,36 @@ func (r *Relation) VisibleVersions(asOf temporal.Chronon, hasAsOf bool) ([]Versi
 		if hasAsOf {
 			probe = asOf
 		}
-		st.Versions(func(v Version) bool {
-			if v.Trans.Contains(probe) {
-				out = append(out, v)
-			}
-			return true
-		})
-		_ = s
+		// Zone-mapped segment scan in commit order — the same rows, in the
+		// same order, a flat Versions walk with a Trans.Contains(probe)
+		// filter would produce.
+		out = s.AsOfVersionsFiltered(probe, filters)
 	case *core.TemporalStore:
 		if !hasAsOf {
 			asOf = temporal.Forever - 1
 		}
-		out = s.AsOf(asOf)
+		out = s.AsOfFiltered(asOf, filters)
 	default:
-		// Static and historical: current belief, already the only state.
+		// Static and historical: current belief, already the only state;
+		// no columns exist, so filters run row-wise.
 		st.Versions(func(v Version) bool {
-			out = append(out, v)
+			if matchesFilters(filters, v.Data) {
+				out = append(out, v)
+			}
 			return true
 		})
 	}
 	return out, nil
+}
+
+// matchesFilters applies pre-filters row-wise for stores without columns.
+func matchesFilters(filters []*segment.Filter, t Tuple) bool {
+	for _, f := range filters {
+		if !f.Match(t) {
+			return false
+		}
+	}
+	return true
 }
 
 // VersionsWhen returns the visible versions (in the sense of
@@ -260,6 +294,17 @@ func (r *Relation) VisibleVersions(asOf temporal.Chronon, hasAsOf bool) ([]Versi
 // under DB.mu.RLock, and the tree is mutated only inside transactions,
 // which hold DB.mu.Lock.
 func (r *Relation) VersionsWhen(q temporal.Interval, asOf temporal.Chronon, hasAsOf bool) ([]Version, bool, error) {
+	return r.VersionsWhenFiltered(q, asOf, hasAsOf, nil)
+}
+
+// VersionsWhenFiltered is VersionsWhen with optional equality pre-filters
+// (built with EqFilter) evaluated on the columnar segments before any tuple
+// is materialized. Filters are an acceleration only: callers keep the
+// originating conjuncts and re-verify them on the returned versions, so a
+// filter can never change an answer — only shrink the set of versions
+// materialized. Stores without columnar segments (historical relations)
+// apply the filters row-wise, which is equally sound.
+func (r *Relation) VersionsWhenFiltered(q temporal.Interval, asOf temporal.Chronon, hasAsOf bool, filters []*segment.Filter) ([]Version, bool, error) {
 	r.db.mu.RLock()
 	defer r.db.mu.RUnlock()
 	st := r.rel.Store()
@@ -268,16 +313,55 @@ func (r *Relation) VersionsWhen(q temporal.Interval, asOf temporal.Chronon, hasA
 	}
 	switch s := st.(type) {
 	case *core.HistoricalStore:
-		return s.When(q), true, nil
+		out := s.When(q)
+		if len(filters) > 0 {
+			kept := out[:0]
+			for _, v := range out {
+				ok := true
+				for _, f := range filters {
+					if !f.Match(v.Data) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, v)
+				}
+			}
+			out = kept
+		}
+		return out, true, nil
 	case *core.TemporalStore:
 		probe := temporal.Forever - 1
 		if hasAsOf {
 			probe = asOf
 		}
-		return s.When(q, probe), true, nil
+		return s.WhenFiltered(q, probe, filters), true, nil
 	default:
 		return nil, false, nil
 	}
+}
+
+// EqFilter builds a columnar equality pre-filter on the named attribute for
+// use with VersionsWhenFiltered and VisibleVersionsFiltered. It returns
+// ok=false when the attribute is unknown or the probe value's kind does not
+// exactly match the attribute's declared kind — coercing comparisons stay
+// with the caller's evaluator.
+func (r *Relation) EqFilter(attr string, v Value) (*segment.Filter, bool) {
+	return r.CmpFilter(attr, segment.OpEq, v)
+}
+
+// CmpFilter builds a columnar comparison pre-filter "attr OP v". Beyond
+// EqFilter's exact-kind rule, ordered operators are limited to the kinds
+// whose columns preserve order (int, instant, float) — see
+// segment.NewCmpFilter.
+func (r *Relation) CmpFilter(attr string, op segment.Op, v Value) (*segment.Filter, bool) {
+	sch := r.rel.Schema()
+	idx := sch.Index(attr)
+	if idx < 0 {
+		return nil, false
+	}
+	return segment.NewCmpFilter(sch, idx, op, v)
 }
 
 // VersionsDuring returns every version that belonged to some believed

@@ -340,6 +340,50 @@ func TestReplFollowerCatchUpDifferential(t *testing.T) {
 	assertCorpusIdentical(t, primary, fdb2)
 }
 
+// The live-pair differential over columnar segments: with the seal
+// threshold forced to 2, the primary's fixture seals into segments, a
+// checkpoint installs a snapshot carrying them as encoded blocks, and a
+// cold follower restores those blocks over the wire. Both sides must be
+// segmented and answer the full corpus byte-identically, including writes
+// streamed after the snapshot.
+func TestReplSegmentedPrimaryDifferential(t *testing.T) {
+	t.Setenv("TDB_DISABLE_SEGMENTS", "") // force segments on even in the ablation CI job
+	t.Setenv("TDB_SEGMENT_ROWS", "2")
+	primary, clock, _ := newPrimary(t)
+	if primary.Stats().Segments == 0 {
+		t.Fatal("primary fixture sealed nothing; threshold knob inert")
+	}
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := serveDB(t, primary, func(s *Server) {
+		s.ReplHeartbeat = 25 * time.Millisecond
+	})
+
+	fdb, _, _ := startFollower(t, addr)
+	waitCaughtUp(t, primary, fdb)
+	if fdb.Stats().Segments == 0 {
+		t.Fatal("follower restored the shipped snapshot flat")
+	}
+	assertCorpusIdentical(t, primary, fdb)
+
+	// Writes streamed after the snapshot cross the sealed/tail boundary on
+	// both sides.
+	pses := tquel.NewSession(primary)
+	if _, err := pses.Exec("range of f is faculty"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		clock.Set(temporal.Date(1985, 7, 1+i))
+		if _, err := pses.Exec(fmt.Sprintf(
+			`append to faculty (name = "seg%d", rank = "assistant") valid from "07/01/85" to forever`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, primary, fdb)
+	assertCorpusIdentical(t, primary, fdb)
+}
+
 // A checkpoint on the primary mid-stream rolls the epoch; the connected
 // follower re-syncs through the shipped snapshot and keeps applying.
 func TestReplCheckpointMidStream(t *testing.T) {

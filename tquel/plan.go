@@ -6,6 +6,7 @@ import (
 
 	"tdb"
 	"tdb/internal/index"
+	"tdb/internal/segment"
 	"tdb/internal/value"
 	"tdb/temporal"
 )
@@ -159,6 +160,67 @@ func overlapPushdown(te TemporalExpr, v string, ev *env) (temporal.Interval, boo
 	return constSide(rel.R, rel.L)
 }
 
+// columnOps maps TQuel comparison operators to columnar filter operators,
+// with the flipped form used when the constant is on the left ("E < v.attr"
+// is "v.attr > E"). "!=" stays row-wise: it rarely prunes anything.
+var columnOps = map[string]struct{ fwd, rev segment.Op }{
+	"=":  {segment.OpEq, segment.OpEq},
+	"<":  {segment.OpLt, segment.OpGt},
+	"<=": {segment.OpLe, segment.OpGe},
+	">":  {segment.OpGt, segment.OpLt},
+	">=": {segment.OpGe, segment.OpLe},
+}
+
+// columnFilters compiles the single-variable comparison conjuncts of the
+// form "v.attr OP E" (either operand order, E variable-free) into columnar
+// pre-filters for the store's segment scan. The conjuncts themselves stay in
+// the prefilter list — a Filter is an acceleration that shrinks the set of
+// materialized versions, and the surviving rows are still re-verified by the
+// ordinary evaluator, so pushing one can never change an answer.
+func columnFilters(conjs []Expr, v string, rel *tdb.Relation, ev *env) ([]*segment.Filter, error) {
+	var out []*segment.Filter
+	for _, e := range conjs {
+		cmp, ok := e.(*Cmp)
+		if !ok {
+			continue
+		}
+		ops, ok := columnOps[cmp.Op]
+		if !ok {
+			continue
+		}
+		side := func(ref, other Expr, op segment.Op) (*segment.Filter, error) {
+			ar, ok := ref.(*AttrRef)
+			if !ok || ar.Var != v || len(exprVarList(other)) != 0 {
+				return nil, nil
+			}
+			val, err := evalExpr(other, ev)
+			if err != nil {
+				// Leave the conjunct to the evaluator, which reports the
+				// error at its usual point in execution.
+				return nil, nil
+			}
+			f, ok := rel.CmpFilter(ar.Attr, op, val)
+			if !ok {
+				return nil, nil // kind mismatch: coercion stays row-wise
+			}
+			return f, nil
+		}
+		f, err := side(cmp.L, cmp.R, ops.fwd)
+		if err != nil {
+			return nil, err
+		}
+		if f == nil {
+			if f, err = side(cmp.R, cmp.L, ops.rev); err != nil {
+				return nil, err
+			}
+		}
+		if f != nil {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
 // equiJoinSides recognizes "v1.a = v2.b" with distinct variables.
 func equiJoinSides(e Expr) (l, r *AttrRef, ok bool) {
 	cmp, isCmp := e.(*Cmp)
@@ -309,8 +371,15 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 
 		var base []tdb.Version
 		var err error
+		var colf []*segment.Filter
 		fetched := false
 		if !hasThrough {
+			// Columnar pre-filters: single-variable comparison conjuncts the
+			// segment scan can evaluate on columns before materializing.
+			colf, err = columnFilters(perVarWhere[v], v, rel, ev)
+			if err != nil {
+				return nil, err
+			}
 			// When pushdown: answer one "v overlap <const>" conjunct
 			// through the store's valid-time interval index.
 			for fi, te := range tfilters {
@@ -321,7 +390,7 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 				if !ok {
 					continue
 				}
-				vs, indexed, werr := rel.VersionsWhen(q, asOf, hasAsOf)
+				vs, indexed, werr := rel.VersionsWhenFiltered(q, asOf, hasAsOf, colf)
 				if werr != nil {
 					return nil, errf(n.Pos, "%s: %v", rel.Name(), werr)
 				}
@@ -338,7 +407,10 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 			if hasThrough {
 				base, err = rel.VersionsDuring(asOf, through)
 			} else {
-				base, err = rel.VisibleVersions(asOf, hasAsOf)
+				// The plain visible-state fetch takes the same columnar
+				// pre-filters: the as-of scan (or interval-index probe)
+				// checks them before materializing each version.
+				base, err = rel.VisibleVersionsFiltered(asOf, hasAsOf, colf)
 			}
 			if err != nil {
 				return nil, errf(n.Pos, "%s: %v", rel.Name(), err)

@@ -416,6 +416,17 @@ func TestPlannerDifferentialFigures(t *testing.T) {
 func TestPlannerDifferential(t *testing.T) {
 	forceParallel(t)
 	ses := paperSession(t)
+	buildSeededFixture(t, ses)
+	for _, src := range seededQuerySources() {
+		differential(t, ses, src)
+	}
+}
+
+// buildSeededFixture adds the historical emp relation and the extra range
+// variables the seeded corpus draws on, on top of the paper's faculty
+// history already in the session.
+func buildSeededFixture(t testing.TB, ses *Session) {
+	t.Helper()
 	if _, err := ses.Exec(`
 		create historical relation emp (name = string, dept = string, pay = int) key (name)
 		range of e1 is emp
@@ -431,7 +442,11 @@ func TestPlannerDifferential(t *testing.T) {
 			i, depts[i%3], 100+10*(i%4), i%9+1, i%4)
 		execAt(t, ses, temporal.Date(1984, 1, 1+i), src)
 	}
+}
 
+// seededQuerySources deterministically generates the 60-query differential
+// corpus over the paper fixture plus emp.
+func seededQuerySources() []string {
 	rng := rand.New(rand.NewSource(85)) // SIGMOD 1985
 	names := []string{"Merrie", "Tom", "Mike", "p0", "p3", "p7"}
 	dates := []string{"06/01/80", "12/10/82", "01/15/83", "now"}
@@ -455,6 +470,7 @@ func TestPlannerDifferential(t *testing.T) {
 		}
 	}
 
+	var out []string
 	for i := 0; i < 60; i++ {
 		vars := []string{pick([]string{"f", "e1"})}
 		if rng.Intn(3) > 0 { // two-variable query
@@ -501,8 +517,9 @@ func TestPlannerDifferential(t *testing.T) {
 		if allTemporal && rng.Intn(2) == 0 {
 			src += fmt.Sprintf("\nas of %q", pick(dates[:3]))
 		}
-		differential(t, ses, src)
+		out = append(out, src)
 	}
+	return out
 }
 
 // The planner and the naive path must agree on metrics the user can see:

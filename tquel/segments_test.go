@@ -1,0 +1,161 @@
+package tquel
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tdb"
+	"tdb/temporal"
+)
+
+// twinSessions builds the same paper + emp fixture twice: once with the
+// seal threshold forced low enough that the faculty history actually seals
+// into columnar segments, once with segments disabled entirely (the flat
+// ablation). Env knobs are read at relation creation, so ordering matters.
+func twinSessions(t *testing.T) (segmented, flat *Session) {
+	t.Helper()
+	t.Setenv("TDB_DISABLE_SEGMENTS", "") // force segments on even in the ablation CI job
+	t.Setenv("TDB_SEGMENT_ROWS", "2")
+	segmented = paperSession(t)
+	buildSeededFixture(t, segmented)
+	if n := segmented.db.Stats().Segments; n == 0 {
+		t.Fatal("segmented arm sealed nothing; threshold knob inert")
+	}
+	t.Setenv("TDB_DISABLE_SEGMENTS", "1")
+	flat = paperSession(t)
+	buildSeededFixture(t, flat)
+	if n := flat.db.Stats().Segments; n != 0 {
+		t.Fatalf("flat arm sealed %d segments despite TDB_DISABLE_SEGMENTS", n)
+	}
+	t.Setenv("TDB_DISABLE_SEGMENTS", "")
+	return segmented, flat
+}
+
+// bothWays runs one query on both storage arms and requires byte-identical
+// rendered results.
+func bothWays(t *testing.T, segmented, flat *Session, src string) {
+	t.Helper()
+	a, err := segmented.Query(src)
+	if err != nil {
+		t.Fatalf("segmented: %v\n%s", err, src)
+	}
+	b, err := flat.Query(src)
+	if err != nil {
+		t.Fatalf("flat: %v\n%s", err, src)
+	}
+	if a.String() != b.String() {
+		t.Errorf("segments changed the answer for:\n%s\n--- segmented ---\n%s\n--- flat ---\n%s",
+			src, a, b)
+	}
+}
+
+// The 60-query seeded corpus must render byte-identically over columnar
+// segments and over the flat row log — and on the segmented arm every
+// execution mode (planner on/off, parallel, cache cold/warm) must agree
+// too, since zone-map pruning and filter pushdown only engage with the
+// planner on.
+func TestSegmentsDifferentialSeeded(t *testing.T) {
+	forceParallel(t)
+	segmented, flat := twinSessions(t)
+	for _, src := range seededQuerySources() {
+		bothWays(t, segmented, flat, src)
+		differential(t, segmented, src)
+	}
+}
+
+// The figure-shaped queries from the paper, with and without segments.
+func TestSegmentsDifferentialFigures(t *testing.T) {
+	forceParallel(t)
+	segmented, flat := twinSessions(t)
+	for _, src := range []string{
+		`retrieve (f.rank) where f.name = "Merrie"`,
+		`retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"`,
+		`retrieve (f.name, f.rank)`,
+		`retrieve (f.name) when f overlap "12/10/82"`,
+		`retrieve (f2.rank)
+			where f2.name = "Merrie" and f.name = "Tom"
+			when f2 overlap start of f
+			as of "12/20/82"`,
+	} {
+		bothWays(t, segmented, flat, src)
+	}
+}
+
+// Checkpoint + crash recovery over a sealed relation: the reopened
+// database reattaches columnar blocks from the v3 snapshot and must answer
+// every arm of the differential identically — the segmented sibling of
+// TestDifferentialAfterRecovery.
+func TestSegmentsDifferentialAfterRecovery(t *testing.T) {
+	forceParallel(t)
+	t.Setenv("TDB_DISABLE_SEGMENTS", "")
+	t.Setenv("TDB_SEGMENT_ROWS", "2")
+	path := filepath.Join(t.TempDir(), "tdb.wal")
+	clock := temporal.NewLogicalClock(0)
+	db, err := tdb.Open(path, tdb.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testClocks[db] = clock
+	paperSessionOn(t, db)
+	delete(testClocks, db)
+	if db.Stats().Segments == 0 {
+		t.Fatal("fixture sealed nothing")
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the (now empty) log tail the way a crash mid-append would.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x40, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x7f}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := tdb.Open(path, tdb.Options{Clock: temporal.NewLogicalClock(temporal.Date(1985, 3, 1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db2.Close() })
+	if !db2.Stats().Recovery.TornTail {
+		t.Fatalf("recovery did not report the torn tail: %+v", db2.Stats().Recovery)
+	}
+	if db2.Stats().Segments == 0 {
+		t.Fatal("recovery flattened the segments")
+	}
+
+	ses := NewSession(db2)
+	if _, err := ses.Exec(`
+		range of f is faculty
+		range of f1 is faculty
+		range of f2 is faculty
+	`); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{
+		`retrieve (f.rank) where f.name = "Merrie"`,
+		`retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"`,
+		`retrieve (f1.rank)
+			where f1.name = "Merrie" and f2.name = "Tom"
+			when f1 overlap start of f2`,
+		`retrieve (f1.rank)
+			where f1.name = "Merrie" and f2.name = "Tom"
+			when f1 overlap start of f2
+			as of "12/10/82"`,
+		`retrieve (f1.rank)
+			where f1.name = "Merrie" and f2.name = "Tom"
+			when f1 overlap start of f2
+			as of "12/20/82"`,
+	} {
+		differential(t, ses, src)
+	}
+}
