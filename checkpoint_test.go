@@ -193,7 +193,7 @@ func TestCheckpointCrashBeforeTruncate(t *testing.T) {
 
 	// Simulate the crash by writing the snapshot exactly as Checkpoint
 	// does (next epoch, covering the whole log), then *not* truncating.
-	snap := wal.Snapshot{LastCommit: db.mgr.Clock().Last(), Epoch: db.epoch + 1, Records: db.walRecords}
+	snap := wal.Snapshot{LastCommit: db.mgr.Clock().Last(), Epoch: db.epoch + 1, Records: db.log.Records()}
 	for _, name := range db.cat.Names() {
 		rel, _ := db.cat.Get(name)
 		rs := wal.RelationSnapshot{Name: name, Kind: rel.Kind(), Event: rel.Event(), Schema: rel.Schema()}
@@ -236,7 +236,7 @@ func TestCheckpointCrashAfterTruncate(t *testing.T) {
 	db := reopen(t, path)
 	buildMixedDB(t, db)
 	before := stateDigest(t, db)
-	records := db.walRecords
+	records := db.log.Records()
 
 	snap := wal.Snapshot{LastCommit: db.mgr.Clock().Last(), Epoch: db.epoch + 1, Records: records}
 	for _, name := range db.cat.Names() {

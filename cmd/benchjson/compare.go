@@ -10,18 +10,23 @@ import (
 	"strings"
 )
 
-// comparison is one benchmark present in both reports.
+// comparison is one benchmark of the new report: rated against its old
+// ns/op when the old report has it, marked New otherwise.
 type comparison struct {
 	Name      string
 	OldNs     float64
 	NewNs     float64
 	Ratio     float64 // new / old; > 1 is slower
 	Regressed bool
+	New       bool // present only in the new report: listed, never regressed
 }
 
 // compareReports matches results by package+name and rates each shared
-// benchmark against the threshold. Benchmarks present in only one report
-// are ignored: the tool compares runs, it does not police coverage.
+// benchmark against the threshold. A benchmark only the new report has is
+// listed as "new" with no ratio — it has no baseline to regress against,
+// so a report introducing benchmarks still passes the gate. Benchmarks
+// only the old report has are retired and ignored: the tool compares runs,
+// it does not police coverage.
 func compareReports(oldRep, newRep report, threshold float64) []comparison {
 	oldNs := make(map[string]float64, len(oldRep.Results))
 	for _, r := range oldRep.Results {
@@ -31,6 +36,7 @@ func compareReports(oldRep, newRep report, threshold float64) []comparison {
 	for _, r := range newRep.Results {
 		prev, ok := oldNs[r.Pkg+"/"+r.Name]
 		if !ok || prev == 0 {
+			out = append(out, comparison{Name: r.Name, NewNs: r.NsPerOp, New: true})
 			continue
 		}
 		ratio := r.NsPerOp / prev
@@ -77,6 +83,10 @@ func formatComparison(cmps []comparison, threshold float64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
 	for _, c := range cmps {
+		if c.New {
+			fmt.Fprintf(&b, "%-50s %14s %14.0f %8s\n", c.Name, "-", c.NewNs, "new")
+			continue
+		}
 		flag := ""
 		if c.Regressed {
 			flag = "  REGRESSED"
@@ -88,8 +98,9 @@ func formatComparison(cmps []comparison, threshold float64) string {
 }
 
 // runCompare implements `benchjson compare old.json new.json [-threshold N]`.
-// It prints the table of shared benchmarks and returns 1 when any of them
-// is slower than threshold times its old ns/op, 2 on usage or read errors.
+// It prints the comparison table — shared benchmarks rated, new-only ones
+// listed as "new" — and returns 1 when any shared benchmark is slower than
+// threshold times its old ns/op, 2 on usage or read errors.
 func runCompare(args []string, stdout, stderr io.Writer) int {
 	threshold := 1.25
 	var files []string

@@ -61,9 +61,22 @@ func TestCompareFlagsRegression(t *testing.T) {
 			t.Errorf("improvement flagged as regression: %s", line)
 		}
 	}
-	// Benchmarks present in only one file are not compared.
-	if strings.Contains(out, "RetiredOnlyInOld") || strings.Contains(out, "BrandNew") {
-		t.Errorf("unshared benchmark leaked into the table:\n%s", out)
+	// A benchmark retired from the new report is not compared; one that is
+	// new is listed as "new" without a ratio and never counts as a
+	// regression.
+	if strings.Contains(out, "RetiredOnlyInOld") {
+		t.Errorf("retired benchmark leaked into the table:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "BenchmarkBrandNew") {
+			continue
+		}
+		if !strings.Contains(line, "new") || strings.Contains(line, "REGRESSED") {
+			t.Errorf("new-only benchmark misreported: %s", line)
+		}
+	}
+	if !strings.Contains(out, "BenchmarkBrandNew") {
+		t.Errorf("new-only benchmark missing from the table:\n%s", out)
 	}
 	if !strings.Contains(stderr.String(), "1 benchmark(s) regressed") {
 		t.Errorf("stderr = %q", stderr.String())
@@ -160,5 +173,37 @@ func TestCompareMalformedInputs(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := runCompare([]string{oldPath, oldPath}, &stdout, &stderr); code != 0 {
 		t.Errorf("self-compare exit code = %d\nstderr: %s", code, stderr.String())
+	}
+}
+
+// A new report whose every benchmark is new — the first run after adding a
+// benchmark suite — passes the gate: everything is listed as "new", no
+// ratio, exit 0.
+func TestCompareAllNewBenchmarksPass(t *testing.T) {
+	oldPath, _ := writeFixtures(t)
+	newOnly := `{
+  "goos": "linux",
+  "results": [
+    {"name": "BenchmarkIngestThroughput/mode=GroupCommit", "pkg": "tdb", "iterations": 10, "ns_per_op": 7000},
+    {"name": "BenchmarkIngestThroughput/mode=BulkLoad", "pkg": "tdb", "iterations": 10, "ns_per_op": 3000}
+  ]
+}`
+	p := filepath.Join(t.TempDir(), "newonly.json")
+	if err := os.WriteFile(p, []byte(newOnly), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := runCompare([]string{oldPath, p}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, name := range []string{"mode=GroupCommit", "mode=BulkLoad"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("new benchmark %s missing from table:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "REGRESSED") {
+		t.Errorf("new-only report flagged a regression:\n%s", out)
 	}
 }

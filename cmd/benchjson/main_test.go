@@ -43,3 +43,30 @@ func TestParse(t *testing.T) {
 		t.Errorf("result 2 = %+v", r)
 	}
 }
+
+// A -count=N run repeats each benchmark line; repetitions collapse to the
+// minimum ns/op (interference only inflates timings), and the same name
+// in a different package stays a separate result.
+func TestParseCountRepetitionsTakeMin(t *testing.T) {
+	const log = `pkg: tdb/tquel
+BenchmarkEvalWhere-8   	  500000	      2755 ns/op
+BenchmarkEvalWhere-8   	  600000	      2100 ns/op	     128 B/op	       2 allocs/op
+BenchmarkEvalWhere-8   	  550000	      2400 ns/op
+pkg: tdb/server
+BenchmarkEvalWhere-8   	  100000	      9000 ns/op
+`
+	rep, err := parse(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2 (3 reps collapsed + 1 other pkg)", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Pkg != "tdb/tquel" || r.NsPerOp != 2100 || r.Iterations != 600000 || r.BytesPerOp != 128 {
+		t.Errorf("collapsed result = %+v, want the 2100 ns/op repetition", r)
+	}
+	if r := rep.Results[1]; r.Pkg != "tdb/server" || r.NsPerOp != 9000 {
+		t.Errorf("cross-package result = %+v", r)
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	tdbcli -addr 127.0.0.1:4791
 //	echo 'retrieve (f.rank);' | tdbcli -addr ...
+//	tdbcli load -addr ... -rel staff -from start -to stop < staff.csv
 package main
 
 import (
@@ -18,6 +19,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "load" {
+		runLoad(os.Args[2:])
+		return
+	}
 	addr := flag.String("addr", "127.0.0.1:4791", "tdbd address")
 	flag.Parse()
 

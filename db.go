@@ -6,6 +6,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"time"
 
 	"tdb/internal/catalog"
 	"tdb/internal/core"
@@ -44,6 +45,18 @@ type Options struct {
 	// drives. Queries are unrestricted — a follower at commit-clock T
 	// answers every `as of <= T` query exactly as the primary would.
 	ReadOnly bool
+	// GroupCommitMaxBatch caps how many transaction records one
+	// group-commit flush coalesces onto a single WAL write (and fsync,
+	// when Sync is on). Zero defers to TDB_GROUP_COMMIT_BATCH and then
+	// wal.DefaultGroupMaxBatch; 1 degenerates to per-transaction commits —
+	// the baseline BenchmarkIngestThroughput measures against.
+	GroupCommitMaxBatch int
+	// GroupCommitWait widens the group-commit coalescing window: the
+	// leader lingers this long after a commit arrives before flushing,
+	// hoping to share the fsync with more committers. Zero defers to
+	// TDB_GROUP_COMMIT_WAIT and then flushes immediately (batches still
+	// form naturally from commits arriving during the previous fsync).
+	GroupCommitWait time.Duration
 }
 
 // resolveCacheBytes applies the CacheBytes precedence documented on Options.
@@ -66,17 +79,18 @@ type DB struct {
 	cat          *catalog.Catalog
 	mgr          *txn.Manager
 	log          *wal.Log
+	gc           *wal.GroupCommitter // owns all appends to log; nil on followers and in-memory DBs
 	fs           vfs.FS
 	path         string
 	snapPath     string
 	prevSnapPath string
-	walRecords   int    // records in the current log file
 	epoch        uint64 // checkpoint era of the current log file
 	closed       bool
 	replay       bool // suppress WAL writes during recovery
 	readOnly     bool // follower: user mutations refused with ErrReadOnly
 	replSkip     int  // leading shipped records the installed snapshot covers
 	clock        temporal.Clock
+	replMu       sync.Mutex    // guards replWatch; never held around I/O
 	replWatch    chan struct{} // closed+replaced when the log position advances
 	recovery     RecoveryInfo
 	qc           *qcache.Cache
@@ -134,11 +148,24 @@ func Open(path string, opts Options) (*DB, error) {
 		mRecoveryFailed.Inc()
 		return nil, fmt.Errorf("tdb: recovery: %w", err)
 	}
-	log, err := wal.Open(fs, path, wal.Options{Sync: opts.Sync, Epoch: db.epoch})
+	log, err := wal.Open(fs, path, wal.Options{
+		Sync:    opts.Sync,
+		Epoch:   db.epoch,
+		Records: db.recovery.LogRecords,
+	})
 	if err != nil {
 		return nil, err
 	}
 	db.log = log
+	if !db.readOnly {
+		// The committer owns every append to the log. Followers have no
+		// committers — their one write path is ReplApply's AppendRaw.
+		db.gc = wal.NewGroupCommitter(log, wal.GroupOptions{
+			MaxBatch: opts.GroupCommitMaxBatch,
+			MaxWait:  opts.GroupCommitWait,
+			Notify:   db.notifyRepl,
+		})
+	}
 	return db, nil
 }
 
@@ -273,7 +300,6 @@ func (db *DB) recover() error {
 	}); err != nil {
 		return err
 	}
-	db.walRecords = scan.Records
 	db.recovery.LogRecords = scan.Records
 	db.recovery.Replayed = scan.Records - skip
 	db.recovery.Epoch = db.epoch
@@ -404,10 +430,18 @@ func (db *DB) Checkpoint() error {
 	if db.log == nil {
 		return errors.New("tdb: checkpoint needs a log-backed database")
 	}
+	// Drain the group-commit queue first: holding db.mu blocks new
+	// enqueues, so after the barrier the log's record count is exact. A
+	// flush error belongs to the committers whose batch it covered (their
+	// records were rolled back and never counted); the checkpoint itself
+	// snapshots the in-memory state and proceeds either way.
+	if db.gc != nil {
+		_ = db.gc.Flush()
+	}
 	snap := wal.Snapshot{
 		LastCommit: db.mgr.Clock().Last(),
 		Epoch:      db.epoch + 1,
-		Records:    db.walRecords,
+		Records:    db.log.Records(),
 	}
 	for _, name := range db.cat.Names() {
 		rel, err := db.cat.Get(name)
@@ -446,7 +480,6 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	db.epoch = snap.Epoch
-	db.walRecords = 0
 	// Conservatively drop warm results: the checkpoint is the boundary a
 	// subsequent restore resumes from, so a cache that straddles it could
 	// otherwise mix pre- and post-recovery keyed entries.
@@ -484,6 +517,11 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
+	if db.gc != nil {
+		// Drain in-flight commits before the log goes away; their waiters
+		// hold no locks, so this cannot deadlock against us.
+		db.gc.Close()
+	}
 	if db.log != nil {
 		return db.log.Close()
 	}
@@ -618,11 +656,13 @@ func (db *DB) Stats() Stats {
 	defer db.mu.RUnlock()
 	s := Stats{
 		Relations:  db.cat.Len(),
-		WALRecords: db.walRecords,
 		LastCommit: db.mgr.Clock().Last(),
 		Epoch:      db.epoch,
 		Recovery:   db.recovery,
 		ReadOnly:   db.readOnly,
+	}
+	if db.log != nil {
+		s.WALRecords = db.log.Records()
 	}
 	for _, name := range db.cat.Names() {
 		rel, err := db.cat.Get(name)
@@ -662,36 +702,50 @@ func (db *DB) UpdateAt(at temporal.Chronon, fn func(tx *Tx) error) error {
 }
 
 func (db *DB) update(at *temporal.Chronon, fn func(tx *Tx) error) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if db.readOnly {
-		return fmt.Errorf("%w: update", ErrReadOnly)
-	}
-	var rec *wal.Record
-	wrap := func(itx *txn.Tx) error {
-		tx := &Tx{db: db, itx: itx}
-		if err := fn(tx); err != nil {
-			return err
+	// Commit in memory and enqueue the record under db.mu — queue order is
+	// flush order, so the WAL stays in commit order — but wait for
+	// durability after releasing it. That wait outside the lock is what
+	// lets concurrent committers pile onto the group-commit leader's next
+	// flush instead of serializing one fsync each.
+	pending, err := func() (*wal.Pending, error) {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			return nil, ErrClosed
 		}
-		if len(tx.ops) > 0 {
-			rec = &wal.Record{Commit: itx.At(), Ops: tx.ops}
+		if db.readOnly {
+			return nil, fmt.Errorf("%w: update", ErrReadOnly)
 		}
-		return nil
-	}
-	var err error
-	if at != nil {
-		err = db.mgr.UpdateAt(*at, wrap)
-	} else {
-		err = db.mgr.Update(wrap)
-	}
+		var rec *wal.Record
+		wrap := func(itx *txn.Tx) error {
+			tx := &Tx{db: db, itx: itx}
+			if err := fn(tx); err != nil {
+				return err
+			}
+			if len(tx.ops) > 0 {
+				rec = &wal.Record{Commit: itx.At(), Ops: tx.ops}
+			}
+			return nil
+		}
+		var err error
+		if at != nil {
+			err = db.mgr.UpdateAt(*at, wrap)
+		} else {
+			err = db.mgr.Update(wrap)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil && db.gc != nil && !db.replay {
+			return db.gc.Enqueue(*rec), nil
+		}
+		return nil, nil
+	}()
 	if err != nil {
 		return err
 	}
-	if rec != nil {
-		if err := db.logRecord(*rec); err != nil {
+	if pending != nil {
+		if err := pending.Wait(); err != nil {
 			// The in-memory commit succeeded but durability failed; surface
 			// loudly. (A production system would block further commits.)
 			return fmt.Errorf("tdb: committed but not logged: %w", err)
@@ -700,16 +754,13 @@ func (db *DB) update(at *temporal.Chronon, fn func(tx *Tx) error) error {
 	return nil
 }
 
+// logRecord durably logs one record through the group committer, waiting
+// inline. Callers hold db.mu (safe: the leader needs no database lock).
 func (db *DB) logRecord(rec wal.Record) error {
-	if db.log == nil || db.replay {
+	if db.gc == nil || db.replay {
 		return nil
 	}
-	if err := db.log.Append(rec); err != nil {
-		return err
-	}
-	db.walRecords++
-	db.notifyRepl()
-	return nil
+	return db.gc.Commit(rec)
 }
 
 // applyRecord replays one WAL record during recovery.

@@ -86,6 +86,12 @@ var TimeBuckets = []float64{
 	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 10,
 }
 
+// CountBuckets is the default bucket layout for small-count histograms
+// (batch sizes, fan-outs): powers of two from 1 to 1024.
+var CountBuckets = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+}
+
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
 	i := 0

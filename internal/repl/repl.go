@@ -39,11 +39,12 @@ package repl
 
 import "tdb/temporal"
 
-// WireVersion is the protocol version replication requires: the "repl"
-// command and the stream message vocabulary arrived in minor version 1 of
-// protocol major 1. The server's advertised version must be at least this;
-// a lock-step test in package server keeps the two constants equal.
-const WireVersion = "1.1"
+// WireVersion is the protocol version a follower's handshake declares. The
+// "repl" command and the stream message vocabulary arrived in protocol
+// 1.1; the handshake tracks the current version (1.2 added the unrelated
+// "batch" command) so version-skew metrics see followers accurately. A
+// lock-step test in package server keeps this equal to ProtoVersion.
+const WireVersion = "1.2"
 
 // Message kinds carried in Msg.T. One JSON object per line, primary to
 // follower only; after the handshake the follower never writes.

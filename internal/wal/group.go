@@ -1,0 +1,277 @@
+package wal
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Group commit. Every committed transaction must reach the log, and with
+// Sync on, the fsync dominates commit latency. Instead of each committer
+// paying for its own fsync, committers enqueue their encoded records with a
+// dedicated leader goroutine, which drains the queue and lands the whole
+// batch as one file write and one fsync (Log.AppendPayloads). Under
+// concurrency the batch grows naturally: while the leader is inside an
+// fsync, every committer that arrives queues up behind it and is flushed
+// together the moment the fsync returns — no timer needed. MaxWait can
+// widen the window further for workloads that trickle in, trading commit
+// latency for larger batches.
+//
+// Error delivery is per batch: AppendPayloads rolls a failed batch back to
+// the pre-batch file size, so exactly the committers whose records it
+// covered see the error, everything flushed before stays durable, and the
+// next batch starts from a clean tail.
+
+// DefaultGroupMaxBatch caps how many records one flush coalesces when
+// neither GroupOptions.MaxBatch nor TDB_GROUP_COMMIT_BATCH chooses a cap.
+const DefaultGroupMaxBatch = 512
+
+// Environment knobs for group commit, read when the corresponding
+// GroupOptions field is zero.
+const (
+	// EnvGroupCommitWait names the coalescing-window duration knob
+	// (time.ParseDuration syntax, e.g. "2ms").
+	EnvGroupCommitWait = "TDB_GROUP_COMMIT_WAIT"
+	// EnvGroupCommitBatch names the per-flush record cap knob.
+	EnvGroupCommitBatch = "TDB_GROUP_COMMIT_BATCH"
+)
+
+// GroupOptions configure a GroupCommitter.
+type GroupOptions struct {
+	// MaxBatch caps the records coalesced per flush. Zero defers to
+	// TDB_GROUP_COMMIT_BATCH and then DefaultGroupMaxBatch; 1 degenerates to
+	// one write+fsync per transaction (the per-txn-commit baseline).
+	MaxBatch int
+	// MaxWait is how long the leader lingers after the first record of a
+	// batch arrives, hoping more committers show up. Zero (the default)
+	// defers to TDB_GROUP_COMMIT_WAIT and then flushes immediately —
+	// batching still emerges from commits that arrive during the previous
+	// flush's fsync, which costs idle workloads nothing.
+	MaxWait time.Duration
+	// Notify, when non-nil, runs after every successful flush — the hook
+	// the database uses to wake replication streams without the leader
+	// needing any database lock.
+	Notify func()
+}
+
+// Pending is one enqueued commit's claim ticket. Wait blocks until the
+// leader has flushed (or failed) the batch covering it.
+type Pending struct {
+	done chan error
+}
+
+// Wait blocks until the record is durably logged, returning the batch's
+// error if its flush failed.
+func (p *Pending) Wait() error { return <-p.done }
+
+type pendingRec struct {
+	payload []byte // nil for a Flush barrier
+	done    chan error
+}
+
+// GroupCommitter coalesces concurrent commits onto shared WAL flushes. It
+// owns all appends to its Log: callers enqueue, the leader goroutine
+// writes.
+type GroupCommitter struct {
+	log      *Log
+	maxBatch int
+	maxWait  time.Duration
+	notify   func()
+
+	mu     sync.Mutex
+	queue  []pendingRec
+	closed bool
+
+	wake chan struct{} // cap 1: the leader's doorbell
+	done chan struct{} // closed when the leader exits
+}
+
+// NewGroupCommitter starts a leader goroutine flushing l. Zero option
+// fields fall back to the TDB_GROUP_COMMIT_* environment knobs, then to
+// defaults.
+func NewGroupCommitter(l *Log, opts GroupOptions) *GroupCommitter {
+	if opts.MaxBatch == 0 {
+		if env := os.Getenv(EnvGroupCommitBatch); env != "" {
+			if n, err := strconv.Atoi(env); err == nil && n > 0 {
+				opts.MaxBatch = n
+			}
+		}
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultGroupMaxBatch
+	}
+	if opts.MaxWait == 0 {
+		if env := os.Getenv(EnvGroupCommitWait); env != "" {
+			if d, err := time.ParseDuration(env); err == nil && d > 0 {
+				opts.MaxWait = d
+			}
+		}
+	}
+	g := &GroupCommitter{
+		log:      l,
+		maxBatch: opts.MaxBatch,
+		maxWait:  opts.MaxWait,
+		notify:   opts.Notify,
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	go g.run()
+	return g
+}
+
+// Enqueue hands one record to the leader and returns immediately. The
+// caller may keep holding whatever lock serialized the commit order —
+// queue order is flush order — and Wait for durability after releasing it,
+// which is what lets independent committers share a flush at all.
+func (g *GroupCommitter) Enqueue(rec Record) *Pending {
+	return g.enqueue(EncodeRecord(rec))
+}
+
+// Commit is Enqueue followed by Wait: one durably logged record.
+func (g *GroupCommitter) Commit(rec Record) error {
+	return g.Enqueue(rec).Wait()
+}
+
+func (g *GroupCommitter) enqueue(payload []byte) *Pending {
+	p := &Pending{done: make(chan error, 1)}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		p.done <- ErrClosed
+		return p
+	}
+	g.queue = append(g.queue, pendingRec{payload: payload, done: p.done})
+	g.mu.Unlock()
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+	return p
+}
+
+// Flush blocks until everything enqueued before it has been flushed,
+// returning the error (if any) of the batch that carried the barrier. The
+// database's checkpoint calls it while holding the lock that gates new
+// enqueues, so afterwards Log.Records is exact.
+func (g *GroupCommitter) Flush() error {
+	return g.enqueue(nil).Wait()
+}
+
+// Close drains the queue, flushes it, and stops the leader. Further
+// enqueues fail with ErrClosed. It does not close the underlying Log,
+// which the committer does not own.
+func (g *GroupCommitter) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		<-g.done
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+	<-g.done
+	return nil
+}
+
+// run is the leader loop: wait for work, optionally linger to coalesce,
+// pop a bounded prefix of the queue, flush it as one append, deliver the
+// shared result to every committer it covered.
+func (g *GroupCommitter) run() {
+	defer close(g.done)
+	for {
+		g.mu.Lock()
+		n, closed := len(g.queue), g.closed
+		g.mu.Unlock()
+		if n == 0 {
+			if closed {
+				return
+			}
+			<-g.wake
+			continue
+		}
+		switch {
+		case g.maxWait > 0 && n < g.maxBatch && !closed:
+			timer := time.NewTimer(g.maxWait)
+		linger:
+			for {
+				select {
+				case <-g.wake:
+					g.mu.Lock()
+					n, closed = len(g.queue), g.closed
+					g.mu.Unlock()
+					if n >= g.maxBatch || closed {
+						break linger
+					}
+				case <-timer.C:
+					break linger
+				}
+			}
+			timer.Stop()
+		case n < g.maxBatch && !closed:
+			// No wait window armed: linger opportunistically instead. Each
+			// yield lets runnable committers finish the enqueue they are
+			// already inside, growing the batch at scheduler-switch cost —
+			// microseconds, where even the shortest timer sleep costs
+			// milliseconds. The loop stops the moment a yield adds nothing,
+			// so a lone committer (blocked in Wait until this very flush)
+			// still gets its record flushed alone, immediately: sequential
+			// workloads produce byte-for-byte the logs they always did.
+			for yields := 0; yields < 8; yields++ {
+				runtime.Gosched()
+				g.mu.Lock()
+				grown, closed := len(g.queue), g.closed
+				g.mu.Unlock()
+				if grown == n || grown >= g.maxBatch || closed {
+					break
+				}
+				n = grown
+			}
+		}
+		g.flushPrefix()
+	}
+}
+
+// flushPrefix pops up to maxBatch queued records, appends them as one
+// batch, and delivers the result.
+func (g *GroupCommitter) flushPrefix() {
+	g.mu.Lock()
+	n := len(g.queue)
+	if n > g.maxBatch {
+		n = g.maxBatch
+	}
+	batch := make([]pendingRec, n)
+	copy(batch, g.queue[:n])
+	rest := len(g.queue) - n
+	copy(g.queue, g.queue[n:])
+	for i := rest; i < len(g.queue); i++ {
+		g.queue[i] = pendingRec{}
+	}
+	g.queue = g.queue[:rest]
+	g.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	payloads := make([][]byte, 0, n)
+	for _, p := range batch {
+		if p.payload != nil {
+			payloads = append(payloads, p.payload)
+		}
+	}
+	var err error
+	if len(payloads) > 0 {
+		err = g.log.AppendPayloads(payloads)
+		mGroupBatch.Observe(float64(len(payloads)))
+	}
+	for _, p := range batch {
+		p.done <- err
+	}
+	if err == nil && len(payloads) > 0 && g.notify != nil {
+		g.notify()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"tdb/internal/vfs"
@@ -104,14 +105,21 @@ var ErrUnknownFormat = errors.New("wal: unrecognized log file format")
 
 // Log is an append-only write-ahead log file. All I/O goes through the
 // vfs.FS it was opened with, which is how fault-injection tests reach it.
+//
+// A Log is safe for concurrent use: an internal mutex serializes appends,
+// truncation, and close against each other, so the group-commit leader can
+// flush batches while replication readers consult Size and Records without
+// holding the database's lock.
 type Log struct {
-	fsys   vfs.FS
-	f      vfs.File
-	size   int64 // current end offset; 0 means the header is unwritten
-	epoch  uint64
-	sync   bool
-	closed bool
-	failed bool // a torn append could not be rolled back; appends refused
+	mu      sync.Mutex
+	fsys    vfs.FS
+	f       vfs.File
+	size    int64 // current end offset; 0 means the header is unwritten
+	records int   // complete records this Log has appended or been seeded with
+	epoch   uint64
+	sync    bool
+	closed  bool
+	failed  bool // a torn append could not be rolled back; appends refused
 }
 
 // Options configure a Log.
@@ -123,6 +131,9 @@ type Options struct {
 	// log writes its first frame into an empty file. Recovery supplies the
 	// era it recovered to; zero is the pre-first-checkpoint era.
 	Epoch uint64
+	// Records seeds the log's record count with what a recovery scan found
+	// in the existing file, so Records() stays exact across reopen.
+	Records int
 }
 
 // Open opens (creating if needed) the log at path for appending through
@@ -140,35 +151,59 @@ func Open(fsys vfs.FS, path string, opts Options) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &Log{fsys: fsys, f: f, size: size, epoch: opts.Epoch, sync: opts.Sync}, nil
+	return &Log{fsys: fsys, f: f, size: size, records: opts.Records, epoch: opts.Epoch, sync: opts.Sync}, nil
 }
 
 // Epoch returns the checkpoint era the log stamps (or has stamped) into
 // its header.
-func (l *Log) Epoch() uint64 { return l.epoch }
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
 
 // Append writes one transaction record to the log. The first append into
 // an empty file carries the header in the same write, so a torn first
 // write can never leave a valid header with no usable epoch semantics.
 func (l *Log) Append(r Record) error {
+	return l.AppendPayloads([][]byte{EncodeRecord(r)})
+}
+
+// AppendPayloads writes a batch of already-encoded records as one file
+// write — the group-commit flush path. The whole batch shares a single
+// fsync when Sync is on, which is what amortizes the dominant durability
+// cost across concurrent committers. Failure poisons exactly this batch:
+// a failed write or fsync rolls the file back to the pre-batch size (so
+// the log tail stays recoverable and later batches still land), and only
+// if that rollback itself fails is the log poisoned with ErrTorn.
+func (l *Log) AppendPayloads(payloads [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
 	if l.failed {
 		return ErrTorn
 	}
-	payload := EncodeRecord(r)
 	pre := 0
 	if l.size == 0 {
 		pre = headerLen
 	}
-	frame := make([]byte, pre+frameHeader+len(payload))
+	total := pre
+	for _, p := range payloads {
+		total += frameHeader + len(p)
+	}
+	frame := make([]byte, total)
 	if pre > 0 {
 		copy(frame, encodeHeader(l.epoch))
 	}
-	binary.BigEndian.PutUint32(frame[pre:pre+4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(frame[pre+4:pre+8], frameCRC(frame[pre:pre+4], payload))
-	copy(frame[pre+frameHeader:], payload)
+	off := pre
+	for _, p := range payloads {
+		binary.BigEndian.PutUint32(frame[off:off+4], uint32(len(p)))
+		binary.BigEndian.PutUint32(frame[off+4:off+8], frameCRC(frame[off:off+4], p))
+		copy(frame[off+frameHeader:], p)
+		off += frameHeader + len(p)
+	}
 	n, err := l.f.Write(frame)
 	if err != nil {
 		// A short write leaves torn bytes after the last good frame.
@@ -177,42 +212,73 @@ func (l *Log) Append(r Record) error {
 		// Append returned nil — so roll the file back to the pre-write size,
 		// or failing that poison the log so nothing lands past the tear.
 		if n > 0 {
-			if terr := l.f.Truncate(l.size); terr != nil {
-				l.failed = true
-			} else if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
-				l.failed = true
-			}
+			l.rollbackTo(l.size)
 		}
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	pos := l.size
 	l.size += int64(n)
-	mRecords.Inc()
+	mRecords.Add(uint64(len(payloads)))
 	mBytes.Add(uint64(len(frame)))
 	if l.sync {
 		start := time.Now()
 		if err := l.f.Sync(); err != nil {
+			// The bytes are in the file but not provably on disk. Roll the
+			// whole batch back so the possible tear covers exactly the
+			// records whose committers are being told they failed — every
+			// frame before this batch stays durable and appendable-after.
+			l.size = pos
+			l.rollbackTo(pos)
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 		mFsync.ObserveSince(start)
+		mFsyncs.Inc()
 	}
+	l.records += len(payloads)
 	return nil
+}
+
+// rollbackTo truncates the file back to pos after a failed append, or
+// poisons the log when the truncate itself fails. Callers hold l.mu.
+func (l *Log) rollbackTo(pos int64) {
+	if terr := l.f.Truncate(pos); terr != nil {
+		l.failed = true
+	} else if _, serr := l.f.Seek(pos, io.SeekStart); serr != nil {
+		l.failed = true
+	}
 }
 
 // Size returns the log's current end offset in bytes (header included once
 // the first frame has been written). It is the replication cursor: a
 // follower whose local log holds Size bytes of epoch E resumes streaming
-// from exactly (E, Size). The caller must serialize Size against Append,
-// AppendRaw, and Truncate, as the database's mutex already does.
-func (l *Log) Size() int64 { return l.size }
+// from exactly (E, Size). Size only ever reflects fully written frames, so
+// reading the file below Size is safe while appends run concurrently.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Records returns the number of complete records in the log file: the
+// recovery-scan seed plus every record successfully appended since. A
+// record whose batch failed and rolled back is never counted.
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
 
 // AppendRaw writes raw bytes to the log verbatim, without framing them.
 // It is the replication apply path: a follower receives byte windows of
 // the primary's log — header and CRC-framed records exactly as written —
 // and lands them locally so the two files stay byte-identical and byte
 // offsets remain a shared cursor. The caller has already verified the
-// bytes (header epoch and per-frame CRCs); a torn write is rolled back or
-// poisons the log exactly as Append does.
-func (l *Log) AppendRaw(raw []byte) error {
+// bytes (header epoch and per-frame CRCs) and reports how many whole
+// records they frame; a torn write is rolled back or poisons the log
+// exactly as Append does.
+func (l *Log) AppendRaw(raw []byte, records int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
@@ -222,11 +288,7 @@ func (l *Log) AppendRaw(raw []byte) error {
 	n, err := l.f.Write(raw)
 	if err != nil {
 		if n > 0 {
-			if terr := l.f.Truncate(l.size); terr != nil {
-				l.failed = true
-			} else if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
-				l.failed = true
-			}
+			l.rollbackTo(l.size)
 		}
 		return fmt.Errorf("wal: append raw: %w", err)
 	}
@@ -238,7 +300,9 @@ func (l *Log) AppendRaw(raw []byte) error {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 		mFsync.ObserveSince(start)
+		mFsyncs.Inc()
 	}
+	l.records += records
 	return nil
 }
 
@@ -286,6 +350,8 @@ func ScanFrames(buf []byte, fn func(Record) error) (consumed int, err error) {
 // failed append left behind, so it also revives a log that Append had
 // poisoned with ErrTorn.
 func (l *Log) Truncate(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
@@ -299,6 +365,7 @@ func (l *Log) Truncate(epoch uint64) error {
 		return fmt.Errorf("wal: truncate sync: %w", err)
 	}
 	l.size = 0
+	l.records = 0
 	l.epoch = epoch
 	l.failed = false
 	return nil
@@ -306,6 +373,8 @@ func (l *Log) Truncate(epoch uint64) error {
 
 // Close flushes and closes the log file.
 func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}

@@ -9,6 +9,12 @@ var (
 		"Bytes appended to the write-ahead log, frame headers included.")
 	mFsync = obs.Default.Histogram("tdb_wal_fsync_seconds",
 		"Write-ahead log fsync latency.", obs.TimeBuckets)
+	mFsyncs = obs.Default.Counter("tdb_wal_fsyncs_total",
+		"Append-path fsyncs issued by the write-ahead log. Together with "+
+			"tdb_wal_records_total this makes group-commit amortization "+
+			"observable: records/fsyncs is the mean batch size.")
+	mGroupBatch = obs.Default.Histogram("tdb_wal_group_commit_batch_size",
+		"Transaction records coalesced per group-commit flush.", obs.CountBuckets)
 	mSnapshot = obs.Default.Histogram("tdb_wal_snapshot_seconds",
 		"Checkpoint snapshot write duration.", obs.TimeBuckets)
 	mSnapshotBytes = obs.Default.Counter("tdb_wal_snapshot_bytes_total",

@@ -53,8 +53,11 @@ func (db *DB) LastCommit() temporal.Chronon {
 }
 
 // notifyRepl wakes every replication stream waiting for the log position
-// to advance. Callers hold db.mu.
+// to advance. It takes only replMu — never db.mu — so the group-commit
+// leader can fire it after a flush without any lock-ordering hazard.
 func (db *DB) notifyRepl() {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
 	if db.replWatch != nil {
 		close(db.replWatch)
 		db.replWatch = make(chan struct{})
@@ -64,8 +67,8 @@ func (db *DB) notifyRepl() {
 // ReplChanged returns a channel closed when the log position next
 // advances (append, checkpoint, or follower reset/apply).
 func (db *DB) ReplChanged() <-chan struct{} {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
 	return db.replWatch
 }
 
@@ -207,7 +210,6 @@ func (db *DB) ReplReset(epoch uint64, snap []byte) error {
 		return err
 	}
 	db.epoch = epoch
-	db.walRecords = 0
 	db.replSkip = 0
 	if err := db.fs.Remove(db.prevSnapPath); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("tdb: repl reset: %w", err)
@@ -250,10 +252,9 @@ func (db *DB) ReplApply(epoch uint64, raw []byte, recs []wal.Record) error {
 	if epoch != db.epoch {
 		return fmt.Errorf("tdb: repl apply for era %d, follower is at era %d", epoch, db.epoch)
 	}
-	if err := db.log.AppendRaw(raw); err != nil {
+	if err := db.log.AppendRaw(raw, len(recs)); err != nil {
 		return err
 	}
-	db.walRecords += len(recs)
 	for _, rec := range recs {
 		if db.replSkip > 0 {
 			db.replSkip--

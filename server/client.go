@@ -68,6 +68,62 @@ func (c *Client) Command(cmd string) (*Response, error) {
 	return c.send(Request{V: ProtoVersion, Cmd: cmd})
 }
 
+// ExecBatch sends a multi-statement batch (protocol 1.2) in one round
+// trip. Per-statement results arrive in Response.Batch, one entry per
+// attempted statement; on a mid-batch failure the failing statement's
+// entry is last and Response.Error mirrors it. Statements are independent
+// transactions — the ones before a failure stay committed.
+func (c *Client) ExecBatch(stmts []string) (*Response, error) {
+	return c.send(Request{V: ProtoVersion, Cmd: "batch", Batch: stmts})
+}
+
+// Pipeline writes every request before reading any response — one round
+// trip's latency for N requests — and returns the responses in request
+// order: resps[i] answers reqs[i]. The server executes strictly in order,
+// so pipelined mutations still apply in slice order.
+//
+// On a transport failure the responses received so far are returned along
+// with the error; resps[len(resps)] onward were never read, and whether
+// their requests executed is unknown — Pipeline never retries (the
+// delivered-request ambiguity of Do applies to every in-flight request at
+// once). A busy rejection surfaces as tdb.ErrBusy on the first response;
+// the server closes the connection after sending it.
+func (c *Client) Pipeline(reqs []Request) ([]*Response, error) {
+	for i := range reqs {
+		if reqs[i].V == "" {
+			reqs[i].V = ProtoVersion
+		}
+		line, err := encodeLine(reqs[i])
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.w.Write(line); err != nil {
+			return nil, fmt.Errorf("server: pipeline send: %w", err)
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, fmt.Errorf("server: pipeline send: %w", err)
+	}
+	resps := make([]*Response, 0, len(reqs))
+	for range reqs {
+		if !c.r.Scan() {
+			if err := c.r.Err(); err != nil {
+				return resps, fmt.Errorf("server: pipeline receive after %d responses: %w", len(resps), err)
+			}
+			return resps, fmt.Errorf("server: connection closed after %d responses", len(resps))
+		}
+		var wire Response
+		if err := json.Unmarshal(c.r.Bytes(), &wire); err != nil {
+			return resps, fmt.Errorf("server: malformed response: %w", err)
+		}
+		if wire.Code == CodeBusy {
+			return resps, fmt.Errorf("%w: %s", tdb.ErrBusy, wire.Error)
+		}
+		resps = append(resps, &wire)
+	}
+	return resps, nil
+}
+
 // Retry policy for Do: attempts are spaced by an exponentially growing
 // backoff starting at doBaseBackoff, doubling up to doMaxAttempts total
 // tries (worst case ~1.5s of waiting), each sleep cancellable through the

@@ -9,6 +9,10 @@ var (
 		"Connections accepted since process start.")
 	mCommandsTotal = obs.Default.Counter("tdb_server_commands_total",
 		"Protocol commands (request lines) served.")
+	mBatchStmtsTotal = obs.Default.Counter("tdb_server_batch_statements_total",
+		"Statements executed inside batch commands (1.2+). Together with "+
+			"tdb_server_commands_total this shows how much pipelined batching "+
+			"amortizes request round-trips.")
 	mCommandSeconds = obs.Default.Histogram("tdb_server_command_seconds",
 		"End-to-end command latency: decode, execute, encode.", obs.TimeBuckets)
 	mMalformedTotal = obs.Default.Counter("tdb_server_malformed_total",

@@ -117,6 +117,25 @@ func (p *Pool) Exec(ctx context.Context, src string) (*Response, error) {
 	}
 }
 
+// ExecBatch routes a multi-statement batch (protocol 1.2) as one request:
+// a batch containing any mutation goes to the primary, a batch declaring
+// range variables is broadcast to every member, and a pure-read batch
+// follows the replica path under the staleness bound. Classification is
+// whole-batch — mixing one write into a batch of reads sends the entire
+// batch to the primary, which is always correct, just less offloaded.
+func (p *Pool) ExecBatch(ctx context.Context, stmts []string) (*Response, error) {
+	req := Request{V: ProtoVersion, Cmd: "batch", Batch: stmts}
+	switch classify(strings.Join(stmts, " ")) {
+	case stmtDeclaration:
+		return p.broadcast(ctx, req)
+	case stmtRead:
+		return p.read(ctx, req)
+	default:
+		p.bump(func(s *PoolStats) { s.Writes++ })
+		return p.doObserved(ctx, p.primary, req)
+	}
+}
+
 // Stats returns a snapshot of the pool's routing counters.
 func (p *Pool) Stats() PoolStats {
 	p.statsMu.Lock()

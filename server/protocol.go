@@ -24,7 +24,36 @@
 //	              connection is closed after this response. Retry later;
 //	              Client.Do does so automatically with backoff.
 //	"version"   — major protocol version mismatch; connection stays open.
+//	              Also returned (1.2+) when a "batch" request arrives from
+//	              a client that declared a minor below 1.2 or none at all.
 //	"malformed" — the request line was not decodable JSON.
+//
+// # Batches and pipelining (1.2+)
+//
+// A request with "cmd":"batch" carries its statements in "batch", an array
+// of TQuel sources, and receives exactly one response line whose "batch"
+// array holds one item — outcomes plus an optional per-item error — per
+// *attempted* statement, in request order:
+//
+//	-> {"v": "1.2", "cmd": "batch", "batch": ["append to s (...)", "append to s (...)"]}
+//	<- {"v": "1.2", "batch": [{"outcomes": [...]}, {"outcomes": [...]}]}
+//
+// Mid-batch error semantics: execution stops at the first failing
+// statement. The response's "batch" array then ends with that statement's
+// item (carrying its error), later statements are not attempted (their
+// items are absent — len(batch) tells how far execution got), and the
+// top-level "error" mirrors the failure. Statements are independent
+// transactions: the ones that succeeded before the failure are committed
+// and are NOT rolled back. A batch is rejected wholesale with code
+// "version" when the client's declared version predates 1.2 — a 1.1 client
+// cannot have its unknown-field batch silently executed as an empty "src".
+//
+// Pipelining: because every request yields exactly one response line and
+// responses are written in request order, a client may write any number of
+// request lines before reading responses (Client.Pipeline). The server
+// needs no awareness of this — it reads, executes, and answers strictly in
+// order — so pipelining composes with batches and with 1.0/1.1 requests on
+// the same connection.
 //
 // A line over 1 MiB in either direction is a protocol violation and the
 // connection is dropped. On shutdown the server stops accepting, lets
@@ -34,6 +63,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"tdb/internal/qcache"
@@ -42,9 +72,11 @@ import (
 // ProtoVersion is the protocol version this package speaks, as
 // "MAJOR.MINOR". Majors must match between client and server; minors are
 // additive. 1.1 added the "repl" streaming command, the request cursor
-// fields it carries, and the commit stamp on every response — all additive,
-// so 1.0 clients interoperate unchanged.
-const ProtoVersion = "1.1"
+// fields it carries, and the commit stamp on every response. 1.2 added the
+// multi-statement "batch" command and response-ordered pipelining — also
+// additive, so 1.0 and 1.1 clients interoperate unchanged (except that
+// "batch" itself is refused below 1.2; see the wire contract).
+const ProtoVersion = "1.2"
 
 // Response codes for structured failures (Response.Code).
 const (
@@ -71,6 +103,10 @@ type Request struct {
 	V   string `json:"v,omitempty"`
 	Src string `json:"src"`
 	Cmd string `json:"cmd,omitempty"`
+	// Batch carries the statements of a "batch" command (1.2+), executed
+	// in order on the connection's session with stop-on-first-error
+	// semantics (see the wire contract). Ignored by every other command.
+	Batch []string `json:"batch,omitempty"`
 	// Epoch and Offset are the follower's resume cursor for the "repl"
 	// command: the checkpoint era of its local log and that log's size in
 	// bytes. Ignored by every other command.
@@ -90,11 +126,27 @@ type Outcome struct {
 	Rows int `json:"rows"`
 }
 
+// BatchItem is one statement's result inside a batch response: the
+// outcomes it produced and, if it failed, its error. The response's Batch
+// slice holds one item per attempted statement, in request order.
+type BatchItem struct {
+	Outcomes []Outcome `json:"outcomes,omitempty"`
+	// Error is the statement's failure; execution of the batch stopped
+	// here. Statements that committed before it stay committed.
+	Error string `json:"error,omitempty"`
+	// Code classifies a structured per-statement failure (currently only
+	// "readonly"); empty otherwise.
+	Code string `json:"code,omitempty"`
+}
+
 // Response is one server message.
 type Response struct {
 	// V is the server's protocol version.
 	V        string    `json:"v,omitempty"`
 	Outcomes []Outcome `json:"outcomes,omitempty"`
+	// Batch carries the per-statement results of a "batch" command (1.2+),
+	// one entry per attempted statement in request order.
+	Batch []BatchItem `json:"batch,omitempty"`
 	// Cache carries query-cache statistics for the "cache" command.
 	Cache *qcache.Stats `json:"cache,omitempty"`
 	// Error is set when execution failed; outcomes of statements that
@@ -123,6 +175,23 @@ func protoMajor(v string) string {
 // client) or the same major as ProtoVersion.
 func versionOK(v string) bool {
 	return v == "" || protoMajor(v) == protoMajor(ProtoVersion)
+}
+
+// versionAtLeast reports whether a declared version is the given major and
+// at least the given minor. A legacy (empty) or unparsable version is
+// never "at least" anything — features gated on a minor must be asked for
+// explicitly, since an older client cannot know it is using them.
+func versionAtLeast(v string, major, minor int) bool {
+	maj, min, _ := strings.Cut(v, ".")
+	gotMajor, err := strconv.Atoi(maj)
+	if err != nil || gotMajor != major {
+		return false
+	}
+	gotMinor, err := strconv.Atoi(min)
+	if err != nil {
+		return false
+	}
+	return gotMinor >= minor
 }
 
 func encodeLine(v any) ([]byte, error) {

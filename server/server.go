@@ -289,31 +289,39 @@ func (s *Server) handle(conn net.Conn) {
 					"Connections by negotiated protocol version.").Inc()
 				s.logger.Printf("conn %s: protocol %s", conn.RemoteAddr(), label)
 			}
-			if strings.TrimSpace(req.Cmd) == "repl" {
+			switch strings.TrimSpace(req.Cmd) {
+			case "repl":
 				// The connection becomes a one-way replication feed and
 				// never returns to the request loop.
 				s.serveRepl(conn, w, req)
 				return
-			}
-			if req.Cmd != "" {
-				resp = s.handleCmd(req.Cmd)
-			} else {
-				outs, err := ses.Exec(req.Src)
-				for _, o := range outs {
-					wire := Outcome{Stmt: o.Stmt, Msg: o.Msg}
-					if o.Result != nil {
-						wire.Table = o.Result.String()
-						wire.Rows = o.Result.Len()
-						wire.Msg = ""
-					}
-					resp.Outcomes = append(resp.Outcomes, wire)
+			case "batch":
+				if !versionAtLeast(req.V, 1, 2) {
+					// A pre-1.2 client cannot knowingly send "batch" — its
+					// JSON would carry the statements in a field it ignores —
+					// so refuse rather than execute an empty "src" silently.
+					resp.Code = CodeVersion
+					resp.Error = fmt.Sprintf(
+						"the batch command requires protocol 1.2 (request declared %q)", req.V)
+				} else {
+					resp = s.execBatch(ses, req.Batch)
 				}
+			case "":
+				if req.Cmd != "" {
+					// Whitespace-only command: an unknown command, not source.
+					resp = s.handleCmd(req.Cmd)
+					break
+				}
+				outs, err := ses.Exec(req.Src)
+				resp.Outcomes = wireOutcomes(outs)
 				if err != nil {
 					resp.Error = err.Error()
-					if s.db.IsReadOnly() && strings.Contains(err.Error(), "read-only") {
+					if s.readOnlyErr(err) {
 						resp.Code = CodeReadOnly
 					}
 				}
+			default:
+				resp = s.handleCmd(req.Cmd)
 			}
 		}
 		resp.V = ProtoVersion
@@ -405,6 +413,53 @@ func (s *Server) serveRepl(conn net.Conn, w *bufio.Writer, req Request) {
 	}
 }
 
+// wireOutcomes converts session outcomes to their wire form.
+func wireOutcomes(outs []*tquel.Outcome) []Outcome {
+	var wired []Outcome
+	for _, o := range outs {
+		wire := Outcome{Stmt: o.Stmt, Msg: o.Msg}
+		if o.Result != nil {
+			wire.Table = o.Result.String()
+			wire.Rows = o.Result.Len()
+			wire.Msg = ""
+		}
+		wired = append(wired, wire)
+	}
+	return wired
+}
+
+// readOnlyErr reports whether an execution error is this follower refusing
+// a mutation — the structured "readonly" code that tells routing clients
+// to go to the primary.
+func (s *Server) readOnlyErr(err error) bool {
+	return s.db.IsReadOnly() && strings.Contains(err.Error(), "read-only")
+}
+
+// execBatch runs a batch command's statements in order on the connection's
+// session, stopping at the first failure. Per the wire contract, the
+// response carries one BatchItem per attempted statement; statements that
+// committed before a failure stay committed.
+func (s *Server) execBatch(ses *tquel.Session, stmts []string) Response {
+	var resp Response
+	for i, src := range stmts {
+		outs, err := ses.Exec(src)
+		item := BatchItem{Outcomes: wireOutcomes(outs)}
+		mBatchStmtsTotal.Inc()
+		if err != nil {
+			item.Error = err.Error()
+			if s.readOnlyErr(err) {
+				item.Code = CodeReadOnly
+				resp.Code = CodeReadOnly
+			}
+			resp.Batch = append(resp.Batch, item)
+			resp.Error = fmt.Sprintf("batch statement %d: %s", i, err)
+			return resp
+		}
+		resp.Batch = append(resp.Batch, item)
+	}
+	return resp
+}
+
 // protoLabel buckets a client's protocol version for the per-connection
 // metric: exact known versions pass through, same-major strangers collapse
 // to "MAJOR.x", anything else to "other", and a missing version (a
@@ -414,7 +469,7 @@ func protoLabel(v string) string {
 	switch {
 	case v == "":
 		return "legacy"
-	case v == ProtoVersion || v == "1.0":
+	case v == ProtoVersion || v == "1.0" || v == "1.1":
 		return v
 	case protoMajor(v) == protoMajor(ProtoVersion):
 		return protoMajor(v) + ".x"
