@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nocache test-nosegments race-segments test-faults race-recovery test-repl race-repl race-ingest soak-ingest figures-check bench bench-smoke bench-json bench-compare
+.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nostats race-stats test-nocache test-nosegments race-segments test-faults race-recovery test-repl race-repl race-ingest soak-ingest figures-check plan-corpus bench bench-smoke bench-json bench-compare
 
-check: fmt vet build race race-parallel race-cache test-noplanner test-nocache test-nosegments race-segments test-faults test-repl figures-check
+check: fmt vet build race race-parallel race-cache test-noplanner test-nostats test-nocache test-nosegments race-segments test-faults test-repl figures-check plan-corpus
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -41,6 +41,28 @@ race-cache:
 # the ablation path too).
 test-noplanner:
 	TDB_DISABLE_PLANNER=1 $(GO) test ./...
+
+# Ablation run with temporal statistics disabled: the planner falls back to
+# the v1 size/pushdown heuristics on every query. Statistics are still
+# maintained and persisted (the ablation gates consumption, not
+# collection), so recovery/replication identity tests run unchanged; the
+# differential tests keep comparing stats-on vs stats-off inside one
+# process, and everything else exercises the heuristic planning path.
+test-nostats:
+	TDB_DISABLE_STATS=1 $(GO) test ./...
+
+# The race detector over the statistics write path: parallel sessions,
+# group-committed writers, checkpoints, and replication all mutate or read
+# per-relation statistics under db.mu, and the plan phase reads them
+# concurrently with four workers pinned on.
+race-stats:
+	TDB_PARALLEL=4 $(GO) test -race ./tquel ./internal/stats ./server .
+
+# The plan-regression corpus: explain output (join order, build sides,
+# estimates, dispatch) pinned against golden text, plus the planner
+# differential corpus that guards answer identity across all arms.
+plan-corpus:
+	$(GO) test -count=1 -run 'Explain|PlannerDifferential|Differential' ./tquel ./server
 
 # Ablation run with the query result cache disabled: every retrieve
 # executes. The differential tests also compare cached vs uncached inside
@@ -141,8 +163,8 @@ bench-smoke:
 # the code's cost.
 bench-json:
 	$(GO) test -run '^$$' -benchmem -count=3 \
-		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel|BenchmarkAsOfCached|BenchmarkReplicaCatchup|BenchmarkReadFanout|BenchmarkAsOf1M|BenchmarkOverlap1M|BenchmarkSegmentSeal|BenchmarkIngestThroughput' \
-		./tquel ./server . | $(GO) run ./cmd/benchjson > BENCH_PR8.json
+		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel|BenchmarkJoinSkewed|BenchmarkPlanWithStats|BenchmarkAsOfCached|BenchmarkReplicaCatchup|BenchmarkReadFanout|BenchmarkAsOf1M|BenchmarkOverlap1M|BenchmarkSegmentSeal|BenchmarkIngestThroughput' \
+		./tquel ./server . | $(GO) run ./cmd/benchjson > BENCH_PR9.json
 
 # Guard against the committed baseline: exits non-zero when a shared
 # benchmark got more than 1.25x slower (CI runs this warn-only; see ci.yml).

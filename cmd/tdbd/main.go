@@ -146,6 +146,7 @@ func run(cfg config, logger *log.Logger, sigs <-chan os.Signal, started func(ser
 					"epoch":            st.Epoch,
 					"recovery":         st.Recovery,
 					"cache":            db.QueryCache().Stats(),
+					"stats":            db.TemporalStats(),
 					"segments": map[string]any{
 						"segments":    st.Segments,
 						"sealed_rows": st.SealedRows,

@@ -175,4 +175,8 @@ func TestAdminEndpointServesMetrics(t *testing.T) {
 	if !strings.Contains(statz, `"sealed_rows"`) || !strings.Contains(statz, `"tail_rows"`) {
 		t.Errorf("/statz missing segment stats: %s", statz[:min(len(statz), 400)])
 	}
+	// The temporal-statistics section lists per-relation summaries.
+	if !strings.Contains(statz, `"stats"`) || !strings.Contains(statz, `"attr_ndv"`) {
+		t.Errorf("/statz missing temporal statistics: %s", statz[:min(len(statz), 400)])
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"tdb/internal/core"
 	"tdb/internal/qcache"
 	"tdb/internal/segment"
+	"tdb/internal/stats"
 	"tdb/internal/txn"
 	"tdb/internal/vfs"
 	"tdb/internal/wal"
@@ -94,6 +95,7 @@ type DB struct {
 	replWatch    chan struct{} // closed+replaced when the log position advances
 	recovery     RecoveryInfo
 	qc           *qcache.Cache
+	stats        map[string]*stats.Rel // per-relation temporal statistics (see stats.go)
 }
 
 // RecoveryInfo reports what Open's recovery pass found and repaired; it is
@@ -140,6 +142,7 @@ func Open(path string, opts Options) (*DB, error) {
 		clock:        opts.Clock,
 		replWatch:    make(chan struct{}),
 		qc:           qcache.New(resolveCacheBytes(opts.CacheBytes)),
+		stats:        make(map[string]*stats.Rel),
 	}
 	if path == "" {
 		return db, nil
@@ -401,6 +404,9 @@ func (db *DB) restoreSnapshot(snap wal.Snapshot) error {
 		// re-establish the persisted mutation counter so cache keys minted
 		// before the checkpoint can never match post-recovery state.
 		rel.Store().ObserveWriteVersion(rs.WriteVersion)
+		if err := db.statsRestore(&rs); err != nil {
+			return err
+		}
 	}
 	return db.mgr.Clock().Observe(snap.LastCommit)
 }
@@ -470,6 +476,9 @@ func (db *DB) Checkpoint() error {
 				rs.Versions = append(rs.Versions, v)
 				return true
 			})
+		}
+		if e, ok := db.stats[name]; ok {
+			rs.Stats = stats.EncodeRel(e)
 		}
 		snap.Relations = append(snap.Relations, rs)
 	}
@@ -565,6 +574,7 @@ func (db *DB) create(name string, kind Kind, event bool, sch *Schema) (*Relation
 		_ = db.cat.Drop(name)
 		return nil, err
 	}
+	db.statsCreate(name, kind, event, sch)
 	return &Relation{db: db, rel: rel}, nil
 }
 
@@ -583,6 +593,7 @@ func (db *DB) DropRelation(name string) error {
 	if err := db.cat.Drop(name); err != nil {
 		return wrapErr(err)
 	}
+	db.statsDrop(name)
 	return db.logRecord(wal.Record{
 		Commit: db.mgr.Clock().Last(),
 		Ops:    []wal.Op{{Code: wal.OpDrop, Rel: name}},
@@ -736,8 +747,11 @@ func (db *DB) update(at *temporal.Chronon, fn func(tx *Tx) error) error {
 		if err != nil {
 			return nil, err
 		}
-		if rec != nil && db.gc != nil && !db.replay {
-			return db.gc.Enqueue(*rec), nil
+		if rec != nil {
+			db.statsApply(rec.Commit, rec.Ops)
+			if db.gc != nil && !db.replay {
+				return db.gc.Enqueue(*rec), nil
+			}
 		}
 		return nil, nil
 	}()
@@ -763,13 +777,14 @@ func (db *DB) logRecord(rec wal.Record) error {
 	return db.gc.Commit(rec)
 }
 
-// applyRecord replays one WAL record during recovery.
+// applyRecord replays one WAL record during recovery or follower apply.
 func (db *DB) applyRecord(rec wal.Record) error {
 	for _, op := range rec.Ops {
 		if err := db.applyOp(rec.Commit, op); err != nil {
 			return fmt.Errorf("replaying %s on %q: %w", op.Code, op.Rel, err)
 		}
 	}
+	db.statsApply(rec.Commit, rec.Ops)
 	return nil
 }
 

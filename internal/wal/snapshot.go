@@ -51,16 +51,22 @@ type RelationSnapshot struct {
 	WriteVersion uint64
 	Segments     []*segment.Segment
 	Versions     []core.Version
+	// Stats is the relation's temporal-statistics section (v4), an opaque
+	// blob in the internal/stats canonical encoding. Empty when restoring a
+	// pre-v4 snapshot; the database then rebuilds statistics from Versions.
+	Stats []byte
 }
 
 // Snapshot magics. v2 is the legacy row-wise layout; v3 inserts a columnar
 // segment-block section per relation between WriteVersion and the version
-// list. New snapshots are always written v3; decode accepts both, so
+// list; v4 appends a statistics blob per relation after the version list.
+// New snapshots are always written v4; decode accepts all three, so
 // upgrades (and followers receiving a primary's raw snapshot bytes) work
 // without a migration step.
 var (
 	snapMagic  = []byte("TDBSNAP2")
 	snapMagic3 = []byte("TDBSNAP3")
+	snapMagic4 = []byte("TDBSNAP4")
 )
 
 // ErrSnapshotCorrupt reports a snapshot failing its checksum or structure.
@@ -94,13 +100,15 @@ func EncodeSnapshot(s Snapshot) []byte {
 			payload = appendInterval(payload, v.Valid)
 			payload = appendInterval(payload, v.Trans)
 		}
+		payload = binary.AppendUvarint(payload, uint64(len(r.Stats)))
+		payload = append(payload, r.Stats...)
 	}
-	out := make([]byte, 0, len(snapMagic3)+len(payload)+4)
-	out = append(out, snapMagic3...)
+	out := make([]byte, 0, len(snapMagic4)+len(payload)+4)
+	out = append(out, snapMagic4...)
 	out = append(out, payload...)
-	// v3 checksums the magic too: the two magics differ in a single bit, so
+	// v3+ checksums the magic too: the magics differ in a single bit, so
 	// a payload-only CRC would let one flipped bit silently reinterpret the
-	// whole layout under the other format.
+	// whole layout under another format.
 	return binary.BigEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
 }
 
@@ -110,11 +118,13 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	if len(data) < len(snapMagic)+4 {
 		return s, fmt.Errorf("%w: short file", ErrSnapshotCorrupt)
 	}
-	var v3 bool
+	var v3, v4 bool
 	switch string(data[:len(snapMagic)]) {
 	case string(snapMagic):
 	case string(snapMagic3):
 		v3 = true
+	case string(snapMagic4):
+		v3, v4 = true, true
 	default:
 		return s, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
 	}
@@ -224,6 +234,20 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 			}
 			off += n
 			r.Versions = append(r.Versions, v)
+		}
+		if v4 {
+			slen, n := binary.Uvarint(payload[off:])
+			if n <= 0 {
+				return s, fmt.Errorf("%w: stats length", ErrSnapshotCorrupt)
+			}
+			off += n
+			if slen > uint64(len(payload)-off) {
+				return s, fmt.Errorf("%w: stats truncated", ErrSnapshotCorrupt)
+			}
+			if slen > 0 {
+				r.Stats = append([]byte(nil), payload[off:off+int(slen)]...)
+				off += int(slen)
+			}
 		}
 		s.Relations = append(s.Relations, r)
 	}

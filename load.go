@@ -147,8 +147,11 @@ func (db *DB) loadChunk(name string, rows []LoadRow, apply func(h *TxRel, row Lo
 	if err != nil {
 		return nil, err
 	}
-	if rec != nil && db.gc != nil && !db.replay {
-		return db.gc.Enqueue(*rec), nil
+	if rec != nil {
+		db.statsApply(rec.Commit, rec.Ops)
+		if db.gc != nil && !db.replay {
+			return db.gc.Enqueue(*rec), nil
+		}
 	}
 	return nil, nil
 }

@@ -20,6 +20,7 @@ import (
 
 	"tdb/internal/catalog"
 	"tdb/internal/repl"
+	"tdb/internal/stats"
 	"tdb/internal/txn"
 	"tdb/internal/wal"
 	"tdb/temporal"
@@ -205,6 +206,7 @@ func (db *DB) ReplReset(epoch uint64, snap []byte) error {
 	// stale snapshot files that a later recovery could mispair.
 	db.cat = catalog.New()
 	db.mgr = txn.NewManager(txn.NewCommitClock(db.clock))
+	db.stats = make(map[string]*stats.Rel)
 	db.qc.Clear()
 	if err := db.log.Truncate(epoch); err != nil {
 		return err

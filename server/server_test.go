@@ -79,6 +79,42 @@ func TestClientServerRoundTrip(t *testing.T) {
 	}
 }
 
+// Explain flows through the protocol as an ordinary message outcome: the
+// rendered plan arrives in Msg, with no resultset table.
+func TestExplainOverProtocol(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if resp, err := c.Exec(`
+		create temporal relation faculty (name = string, rank = string) key (name)
+		range of f is faculty
+		append to faculty (name = "Merrie", rank = "associate") valid from "09/01/77" to forever
+	`); err != nil || resp.Error != "" {
+		t.Fatalf("%v / %+v", err, resp)
+	}
+	resp, err := c.Exec(`explain retrieve (f.name, f.rank)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("explain error: %s", resp.Error)
+	}
+	out := resp.Outcomes[0]
+	if out.Stmt != "explain" {
+		t.Errorf("outcome stmt = %q, want explain", out.Stmt)
+	}
+	if !strings.HasPrefix(out.Msg, "plan") || !strings.Contains(out.Msg, "dispatch:") {
+		t.Errorf("explain msg = %q, want a rendered plan", out.Msg)
+	}
+	if out.Table != "" || out.Rows != 0 {
+		t.Errorf("explain carried a resultset: %+v", out)
+	}
+}
+
 func TestSessionStatePerConnection(t *testing.T) {
 	_, addr := startServer(t)
 	c1, err := Dial(addr)

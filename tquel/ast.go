@@ -111,7 +111,16 @@ type ReplaceStmt struct {
 	When  TemporalExpr
 }
 
+// ExplainStmt is "explain RETRIEVE": compile the wrapped retrieve exactly
+// as execution would, render the chosen plan with its cost estimates, and
+// execute nothing.
+type ExplainStmt struct {
+	Pos      Pos
+	Retrieve *RetrieveStmt
+}
+
 func (*CreateStmt) stmtNode()   {}
+func (*ExplainStmt) stmtNode()  {}
 func (*DestroyStmt) stmtNode()  {}
 func (*RangeStmt) stmtNode()    {}
 func (*RetrieveStmt) stmtNode() {}

@@ -21,9 +21,15 @@ type Session struct {
 	now         func() temporal.Chronon
 	tracer      obs.Tracer // nil unless SetTracer installed one
 	noPlanner   bool
-	noCache     bool       // session-level query cache bypass (DisableCache)
-	parallelism int        // worker budget; 0 = GOMAXPROCS, <=1 = serial
-	lastPlan    *queryPlan // most recent compiled retrieve, for tests
+	noStats     bool // planner ignores statistics (DisableStats)
+	noCache     bool // session-level query cache bypass (DisableCache)
+	parallelism int  // worker budget; 0 = GOMAXPROCS, <=1 = serial
+
+	// parallelMinCost overrides the package-level parallel dispatch cutoff
+	// when positive (TDB_PARALLEL_MIN_COST).
+	parallelMinCost float64
+
+	lastPlan *queryPlan // most recent compiled retrieve, for tests and explain
 }
 
 // NewSession opens a session on the database. The "now" spelling in
@@ -42,9 +48,17 @@ func NewSession(db *tdb.DB) *Session {
 	if v := os.Getenv("TDB_DISABLE_PLANNER"); v != "" && v != "0" && v != "false" {
 		s.noPlanner = true
 	}
+	if v := os.Getenv("TDB_DISABLE_STATS"); v != "" && v != "0" && v != "false" {
+		s.noStats = true
+	}
 	if v := os.Getenv("TDB_PARALLEL"); v != "" {
 		if n, err := strconv.Atoi(v); err == nil {
 			s.parallelism = n
+		}
+	}
+	if v := os.Getenv("TDB_PARALLEL_MIN_COST"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			s.parallelMinCost = f
 		}
 	}
 	return s
@@ -55,6 +69,15 @@ func NewSession(db *tdb.DB) *Session {
 // ablation mirror of core's DisableIntervalIndex. The planner is on by
 // default; differential tests assert both paths agree.
 func (s *Session) DisablePlanner(disabled bool) { s.noPlanner = disabled }
+
+// DisableStats reverts the planner to the statistics-free v1 heuristics:
+// ascending-cardinality join order, first-edge hash builds, the fixed
+// outer-size parallel threshold, and unconditional interval-index probes.
+// Statistics maintenance on the write path is unaffected — only their
+// consumption by this session's planner. The TDB_DISABLE_STATS environment
+// variable sets the same switch for new sessions; differential tests assert
+// both modes agree.
+func (s *Session) DisableStats(disabled bool) { s.noStats = disabled }
 
 // SetNow overrides the session's notion of the current instant ("now" in
 // queries). Update statements always use their transaction's commit
@@ -128,6 +151,8 @@ func (s *Session) exec(st Stmt) (*Outcome, error) {
 		return &Outcome{Stmt: "range", Msg: fmt.Sprintf("range of %s is %s", n.Var, n.Rel)}, nil
 	case *RetrieveStmt:
 		return s.execRetrieveCached(n)
+	case *ExplainStmt:
+		return s.execExplain(n)
 	case *AppendStmt:
 		return s.execAppend(n)
 	case *DeleteStmt:
@@ -264,6 +289,7 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 			mWhenIndexed.Add(uint64(pl.whenIndexed))
 			mHashJoinBuildRows.Add(uint64(pl.buildRows))
 			mJoinFallbacks.Add(uint64(pl.fallbacks))
+			mProbeSkips.Add(uint64(pl.overlapSkips))
 		}
 		mRowsScanned.Add(uint64(tally.scanned))
 		mRowsReturned.Add(uint64(returned))
@@ -474,6 +500,15 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if s.tracer != nil && pl.statsUsed {
+			// The statistics phase: what the cost model concluded, next to
+			// the plan span that consumed it.
+			stSp := s.tracer.Start("stats")
+			stSp.Note("est_work", int64(pl.estWork))
+			stSp.Note("est_rows", int64(pl.estRows))
+			stSp.Note("probe_skips", pl.overlapSkips)
+			stSp.End()
 		}
 		s.lastPlan = pl
 		tally.scanned += pl.prefiltered

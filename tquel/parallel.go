@@ -37,11 +37,30 @@ import (
 //     only the materialized []tdb.Version snapshots plus immutable schema
 //     metadata (see the concurrency notes on tdb.Relation).
 
-// parallelMinOuter is the smallest outer candidate list worth fanning out.
-// Below it, goroutine startup and merge overhead exceed the loop itself, so
-// execution stays on the serial path. Tests override it to force the
-// parallel path onto small fixtures.
+// parallelMinOuter is the smallest outer candidate list worth fanning out
+// when statistics are off (the v1 dispatch rule). Below it, goroutine
+// startup and merge overhead exceed the loop itself, so execution stays on
+// the serial path. Tests override it to force the parallel path onto small
+// fixtures.
 var parallelMinOuter = 128
+
+// parallelMinCost is the estimated-work threshold (bindings examined, see
+// orderByCost) above which a stats-guided plan takes the parallel path —
+// the cost-based replacement for the fixed outer-size rule: a 100-row outer
+// that fans out into a million join pairs parallelizes, a 10 000-row outer
+// with a selective probe does not. TDB_PARALLEL_MIN_COST overrides it per
+// session (see NewSession); tests lower the package default alongside
+// parallelMinOuter to force the parallel path onto small fixtures.
+var parallelMinCost = 4096.0
+
+// resolveParallelMinCost applies the session override, then the package
+// default.
+func (s *Session) resolveParallelMinCost() float64 {
+	if s.parallelMinCost > 0 {
+		return s.parallelMinCost
+	}
+	return parallelMinCost
+}
 
 // parallelChunksPerWorker over-partitions the outer range so stragglers
 // (chunks whose candidates fan out into many inner bindings) even out.
@@ -153,11 +172,19 @@ func runPlan(pl *queryPlan, ex *planExec, lo, hi int, emitRow func(*planExec) er
 
 // useParallel decides whether a compiled plan takes the worker-pool path.
 // Aggregate queries stay serial (the aggregator folds into shared per-group
-// state), as do empty plans, plans short-circuited by a false variable-free
-// conjunct, and outer candidate lists too small to amortize the fan-out.
+// state), as do empty plans and plans short-circuited by a false
+// variable-free conjunct. Past those gates the dispatch is cost-based when
+// statistics informed the plan — fan out when the estimated join work
+// clears the session's cutoff and there is an outer range to split — and
+// falls back to the v1 fixed outer-size rule when they did not.
 func useParallel(pl *queryPlan, workers int, agg *aggregator) bool {
-	return workers > 1 && agg == nil && !pl.emptyResult &&
-		len(pl.vars) > 0 && len(pl.vars[0].versions) >= parallelMinOuter
+	if workers <= 1 || agg != nil || pl.emptyResult || len(pl.vars) == 0 {
+		return false
+	}
+	if pl.statsUsed {
+		return pl.estWork >= pl.parallelCut && len(pl.vars[0].versions) > 1
+	}
+	return len(pl.vars[0].versions) >= parallelMinOuter
 }
 
 // runParallel fans the outermost candidate range out over a worker pool and

@@ -124,9 +124,10 @@ func TestUseParallelGates(t *testing.T) {
 	if useParallel(pl, 4, nil) {
 		t.Error("useParallel accepted an outer list below parallelMinOuter")
 	}
-	old := parallelMinOuter
-	parallelMinOuter = 1
-	defer func() { parallelMinOuter = old }()
+	old, oldCost := parallelMinOuter, parallelMinCost
+	parallelMinOuter, parallelMinCost = 1, 1
+	pl.parallelCut = 1
+	defer func() { parallelMinOuter, parallelMinCost = old, oldCost }()
 	if !useParallel(pl, 4, nil) {
 		t.Error("useParallel rejected an eligible plan")
 	}

@@ -100,6 +100,8 @@ func (p *parser) statement() (Stmt, error) {
 		return p.rangeStmt()
 	case p.isKeyword("retrieve"):
 		return p.retrieveStmt()
+	case p.isKeyword("explain"):
+		return p.explainStmt()
 	case p.isKeyword("append"):
 		return p.appendStmt()
 	case p.isKeyword("delete"):
@@ -109,6 +111,20 @@ func (p *parser) statement() (Stmt, error) {
 	default:
 		return nil, errf(t.Pos, "expected a statement keyword, found %q", t.Text)
 	}
+}
+
+// explainStmt parses "explain RETRIEVE". Only retrieve statements compile
+// to a plan, so only they can be explained.
+func (p *parser) explainStmt() (Stmt, error) {
+	pos := p.advance().Pos // explain
+	if !p.isKeyword("retrieve") {
+		return nil, errf(p.cur().Pos, "explain expects a retrieve statement, found %q", p.cur().Text)
+	}
+	st, err := p.retrieveStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{Pos: pos, Retrieve: st.(*RetrieveStmt)}, nil
 }
 
 var kindKeywords = map[string]tdb.Kind{

@@ -25,16 +25,26 @@ import (
 //  2. when pushdown: a single-variable "v overlap E" conjunct whose other
 //     side is variable-free is answered through the store's interval-indexed
 //     When path (Relation.VersionsWhen) instead of scan-then-filter.
-//  3. join ordering: variables bind in ascending filtered-cardinality
-//     order, so the cheapest variable drives the outermost loop.
+//  3. join ordering: with statistics (the default, "cost-based planning
+//     v2") a greedy left-deep order minimizes estimated intermediate
+//     cardinality — each step binds the variable with the smallest
+//     estimated post-join output, |v| discounted by 1/max(ndv) per equi
+//     edge into the bound prefix, so cross products price themselves out.
+//     Without statistics (Session.DisableStats, TDB_DISABLE_STATS) the v1
+//     heuristic stands: ascending filtered cardinality.
 //  4. hash equi-joins: a residual "v1.a = v2.b" conjunct turns the inner
 //     variable's scan into a hash probe — the build side (the side left
-//     inner by the cardinality ordering, i.e. the larger one) is hashed
-//     once on its join attribute, and each outer binding probes instead of
-//     scanning. The conjunct itself stays residual, so hash collisions and
-//     numeric coercions are re-verified and the result is provably the one
-//     the nested loop computes.
+//     inner by the ordering) is hashed once on its join attribute, and each
+//     outer binding probes instead of scanning. When several equi edges
+//     reach the same inner variable, statistics pick the build attribute
+//     with the largest NDV (fewest expected matches per probe); stats-off
+//     keeps the v1 first-edge-wins rule. The conjunct itself stays
+//     residual, so hash collisions and numeric coercions are re-verified
+//     and the result is provably the one the nested loop computes.
 //
+// The statistics feeding step 3 (and the interval-index probe decision and
+// the parallel dispatch cutoff) come from internal/stats via the Relation
+// estimate accessors; every estimate is deterministic, so plans are too.
 // Session.DisablePlanner (and the TDB_DISABLE_PLANNER env var) restore the
 // naive path; TestPlannerDifferential asserts both agree.
 
@@ -57,6 +67,13 @@ type queryPlan struct {
 	buildRows   int64 // rows hashed into equi-join build tables
 	fallbacks   int64 // inner variables joined by nested loop, not hash probe
 	prefiltered int64 // bindings examined while prefiltering candidate lists
+
+	// Cost-model annotations (statistics path; zero when stats are off).
+	statsUsed    bool    // join order and dispatch used statistics estimates
+	estWork      float64 // estimated bindings the join loop will examine
+	estRows      float64 // estimated result cardinality before dedup
+	parallelCut  float64 // estWork threshold for the parallel dispatch
+	overlapSkips int64   // interval-index probes skipped on selectivity advice
 }
 
 // planVar is one range variable's slot in the compiled plan, in binding
@@ -76,6 +93,21 @@ type planVar struct {
 	// Residual conjuncts settled once this variable is bound.
 	where []Expr
 	when  []TemporalExpr
+
+	// Explain annotations.
+	estOut       float64 // estimated cumulative bindings after this depth
+	whenIndexed  bool    // candidates came through the interval index
+	probeSkipped bool    // statistics advised against the interval-index probe
+}
+
+// equiEdge is one "v1.a = v2.b" conjunct, pre-resolved: the ordering cost
+// model consumes every edge (an equi filter prunes whether or not it can
+// hash), the probe wiring only the hashable ones.
+type equiEdge struct {
+	l, r       *AttrRef
+	lIdx, rIdx int
+	hashable   bool
+	numeric    bool
 }
 
 // hashJoin is one compiled equi-join edge: the inner (build) side's
@@ -279,6 +311,99 @@ func joinHash(v tdb.Value, numeric bool) uint64 {
 	return tdb.Float(f).Hash64()
 }
 
+// overlapProbeMaxSel is the estimated overlap selectivity above which the
+// planner skips the interval-index probe: past it, the probe visits most of
+// the store anyway, and the plain filtered scan avoids the index walk.
+const overlapProbeMaxSel = 0.5
+
+// orderByCost greedily orders the range variables to minimize estimated
+// intermediate cardinality (left-deep join order). The smallest candidate
+// list opens; each later step binds the unbound variable with the smallest
+// estimated post-join output — |v| discounted by 1/max(ndv_left, ndv_right)
+// for every equi edge into the bound prefix (the textbook equi-join
+// selectivity under uniformity). A variable with no edge into the prefix
+// keeps selectivity 1, so cross products price themselves out of early
+// depths — the main win over the v1 ascending-cardinality heuristic, which
+// happily opens with a cross product between two small relations. Ties keep
+// statement order (strict less on deterministic estimates), so the order is
+// a pure function of the database state and the statement.
+//
+// Alongside the order it fills each depth's cumulative cardinality estimate
+// (planVar.estOut, rendered by explain) and totals pl.estWork — the
+// estimated number of bindings the join loop examines: hashable depths cost
+// one probe per prefix binding plus expected matches, nested-loop depths a
+// full scan of the inner list per prefix binding. useParallel compares
+// estWork against the session's cutoff.
+func orderByCost(pl *queryPlan, edges []equiEdge, ndvOf func(i, attr int) float64) {
+	n := len(pl.vars)
+	pos := make(map[string]int, n)
+	for i := range pl.vars {
+		pos[pl.vars[i].name] = i
+	}
+	used := make([]bool, n)
+	chosen := make([]int, 0, n)
+	start := 0
+	for i := 1; i < n; i++ {
+		if len(pl.vars[i].versions) < len(pl.vars[start].versions) {
+			start = i
+		}
+	}
+	used[start] = true
+	chosen = append(chosen, start)
+	card := float64(len(pl.vars[start].versions))
+	pl.vars[start].estOut = card
+	work := card
+	for len(chosen) < n {
+		best, bestCard, bestHash := -1, 0.0, false
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			sel, hashed := 1.0, false
+			for _, e := range edges {
+				li, ri := pos[e.l.Var], pos[e.r.Var]
+				var other, myAttr, otherAttr int
+				switch {
+				case li == i && used[ri]:
+					other, myAttr, otherAttr = ri, e.lIdx, e.rIdx
+				case ri == i && used[li]:
+					other, myAttr, otherAttr = li, e.rIdx, e.lIdx
+				default:
+					continue
+				}
+				d := ndvOf(i, myAttr)
+				if od := ndvOf(other, otherAttr); od > d {
+					d = od
+				}
+				sel /= d
+				if e.hashable {
+					hashed = true
+				}
+			}
+			cand := card * float64(len(pl.vars[i].versions)) * sel
+			if best < 0 || cand < bestCard {
+				best, bestCard, bestHash = i, cand, hashed
+			}
+		}
+		if bestHash {
+			work += card + bestCard
+		} else {
+			work += card * float64(len(pl.vars[best].versions))
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		card = bestCard
+		pl.vars[best].estOut = card
+	}
+	reordered := make([]planVar, 0, n)
+	for _, i := range chosen {
+		reordered = append(reordered, pl.vars[i])
+	}
+	pl.vars = reordered
+	pl.estRows = card
+	pl.estWork = work
+}
+
 // admit applies the residual conjuncts parked at this variable's depth to
 // the current bindings.
 func (pv *planVar) admit(ev *env) (bool, error) {
@@ -305,7 +430,8 @@ func (pv *planVar) admit(ev *env) (bool, error) {
 func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relation,
 	ev *env, asOf, through temporal.Chronon, hasAsOf, hasThrough bool) (*queryPlan, error) {
 
-	pl := &queryPlan{}
+	statsOn := !s.noStats
+	pl := &queryPlan{statsUsed: statsOn, parallelCut: s.resolveParallelMinCost()}
 
 	var whereConjs []Expr
 	if n.Where != nil {
@@ -373,6 +499,7 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 		var err error
 		var colf []*segment.Filter
 		fetched := false
+		whenIdx, probeSkipped := false, false
 		if !hasThrough {
 			// Columnar pre-filters: single-variable comparison conjuncts the
 			// segment scan can evaluate on columns before materializing.
@@ -390,12 +517,24 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 				if !ok {
 					continue
 				}
+				if statsOn {
+					// Probe-vs-scan: a window matching most versions makes
+					// the interval-index probe walk nearly the whole store
+					// and still re-verify rows — the plain filtered scan is
+					// cheaper. The conjunct stays in tfilters and prunes
+					// row-wise below.
+					if sel, selOK := rel.EstimateOverlap(q); selOK && sel > overlapProbeMaxSel {
+						probeSkipped = true
+						pl.overlapSkips++
+						continue
+					}
+				}
 				vs, indexed, werr := rel.VersionsWhenFiltered(q, asOf, hasAsOf, colf)
 				if werr != nil {
 					return nil, errf(n.Pos, "%s: %v", rel.Name(), werr)
 				}
 				if indexed {
-					base, fetched = vs, true
+					base, fetched, whenIdx = vs, true, true
 					tfilters = append(append([]TemporalExpr(nil), tfilters[:fi]...), tfilters[fi+1:]...)
 					pl.whenIndexed++
 					pl.pushed++
@@ -454,24 +593,17 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 			delete(ev.vars, v)
 			pl.pushed += int64(len(filters) + len(tfilters))
 		}
-		pl.vars[i] = planVar{name: v, orig: i, rel: rel, versions: base}
+		pl.vars[i] = planVar{name: v, orig: i, rel: rel, versions: base,
+			whenIndexed: whenIdx, probeSkipped: probeSkipped}
 	}
 
-	// Join ordering: smallest filtered cardinality binds first (stable, so
-	// equal-sized variables keep statement order). The inner side of each
-	// equi-join edge — the larger one — becomes the hash build side below.
-	sort.SliceStable(pl.vars, func(i, j int) bool {
-		return len(pl.vars[i].versions) < len(pl.vars[j].versions)
-	})
-	depthOf := make(map[string]int, len(pl.vars))
-	for d := range pl.vars {
-		depthOf[pl.vars[d].name] = d
+	// Resolve every equi-join edge once; the ordering cost model and the
+	// probe wiring below both consume the list.
+	pos := make(map[string]int, len(pl.vars))
+	for i := range pl.vars {
+		pos[pl.vars[i].name] = i
 	}
-
-	// Wire hash probes: for each variable, the first equi-join conjunct
-	// linking it to an earlier-bound variable with hashable key kinds turns
-	// its scan into a probe. The conjunct stays residual (below), so probe
-	// results are re-verified and collisions cannot leak into the answer.
+	var edges []equiEdge
 	for _, r := range residuals {
 		if r.expr == nil {
 			continue
@@ -480,33 +612,107 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 		if !ok {
 			continue
 		}
-		build, probe := l, rt
-		if depthOf[build.Var] < depthOf[probe.Var] {
-			build, probe = probe, build
-		}
-		pv := &pl.vars[depthOf[build.Var]]
-		if pv.join != nil {
-			continue
-		}
-		probeDepth := depthOf[probe.Var]
-		outer := &pl.vars[probeDepth]
-		buildIdx := pv.rel.Schema().Index(build.Attr)
-		probeIdx := outer.rel.Schema().Index(probe.Attr)
-		if buildIdx < 0 || probeIdx < 0 {
+		lIdx := pl.vars[pos[l.Var]].rel.Schema().Index(l.Attr)
+		rIdx := pl.vars[pos[rt.Var]].rel.Schema().Index(rt.Attr)
+		if lIdx < 0 || rIdx < 0 {
 			continue // unreachable after analysis; keep the nested loop
 		}
 		hashable, numeric := hashableJoin(
-			pv.rel.Schema().Attr(buildIdx).Type, outer.rel.Schema().Attr(probeIdx).Type)
-		if !hashable {
+			pl.vars[pos[l.Var]].rel.Schema().Attr(lIdx).Type,
+			pl.vars[pos[rt.Var]].rel.Schema().Attr(rIdx).Type)
+		edges = append(edges, equiEdge{l: l, r: rt, lIdx: lIdx, rIdx: rIdx,
+			hashable: hashable, numeric: numeric})
+	}
+
+	// ndvOf estimates the distinct join-key count of pl.vars[i]'s attribute,
+	// clamped to the filtered candidate count (the relation-wide sketch can
+	// only overcount a filtered list) and floored at 1. Memoized per
+	// statement-order variable so one attribute consulted by both the
+	// ordering and the build-edge choice counts one estimate.
+	ndvMemo := make(map[[2]int]float64)
+	ndvOf := func(i, attr int) float64 {
+		pv := &pl.vars[i]
+		key := [2]int{pv.orig, attr}
+		if d, ok := ndvMemo[key]; ok {
+			return d
+		}
+		d, ok := pv.rel.EstimateNDV(attr)
+		if !ok {
+			// No statistics yet: assume all-distinct, the key-join default.
+			d = float64(len(pv.versions))
+		}
+		if m := float64(len(pv.versions)); d > m {
+			d = m
+		}
+		if d < 1 {
+			d = 1
+		}
+		ndvMemo[key] = d
+		return d
+	}
+
+	// Join ordering (see the package comment, step 3).
+	if statsOn && len(pl.vars) > 0 {
+		orderByCost(pl, edges, ndvOf)
+	} else {
+		// v1 heuristic: smallest filtered cardinality binds first (stable,
+		// so equal-sized variables keep statement order).
+		sort.SliceStable(pl.vars, func(i, j int) bool {
+			return len(pl.vars[i].versions) < len(pl.vars[j].versions)
+		})
+	}
+	depthOf := make(map[string]int, len(pl.vars))
+	for d := range pl.vars {
+		depthOf[pl.vars[d].name] = d
+	}
+
+	// Wire hash probes: each inner variable's scan becomes a probe along one
+	// hashable equi edge to an earlier-bound variable. The conjunct stays
+	// residual (below), so probe results are re-verified and collisions
+	// cannot leak into the answer.
+	type probeChoice struct {
+		e                  equiEdge
+		probe              *AttrRef
+		buildIdx, probeIdx int
+	}
+	choice := make([]*probeChoice, len(pl.vars))
+	choiceNDV := make([]float64, len(pl.vars))
+	for _, e := range edges {
+		if !e.hashable {
 			continue
 		}
+		build, probe, buildIdx, probeIdx := e.l, e.r, e.lIdx, e.rIdx
+		if depthOf[build.Var] < depthOf[probe.Var] {
+			build, probe, buildIdx, probeIdx = probe, build, probeIdx, buildIdx
+		}
+		d := depthOf[build.Var]
+		switch {
+		case choice[d] == nil:
+			choice[d] = &probeChoice{e: e, probe: probe, buildIdx: buildIdx, probeIdx: probeIdx}
+			if statsOn {
+				choiceNDV[d] = ndvOf(d, buildIdx)
+			}
+		case statsOn:
+			// Build-side attribute choice: the edge with the largest NDV
+			// spreads the table widest — fewest expected matches per probe.
+			if nd := ndvOf(d, buildIdx); nd > choiceNDV[d] {
+				choice[d] = &probeChoice{e: e, probe: probe, buildIdx: buildIdx, probeIdx: probeIdx}
+				choiceNDV[d] = nd
+			}
+		}
+	}
+	for d, c := range choice {
+		if c == nil {
+			continue
+		}
+		pv := &pl.vars[d]
 		table := index.NewHashSized(len(pv.versions))
-		for pos := range pv.versions {
-			table.Add(joinHash(pv.versions[pos].Data[buildIdx], numeric), pos)
+		for vi := range pv.versions {
+			table.Add(joinHash(pv.versions[vi].Data[c.buildIdx], c.e.numeric), vi)
 		}
 		pl.buildRows += int64(len(pv.versions))
-		pv.join = &hashJoin{table: table, buildIdx: buildIdx,
-			probeDepth: probeDepth, probeIdx: probeIdx, numeric: numeric}
+		pv.join = &hashJoin{table: table, buildIdx: c.buildIdx,
+			probeDepth: depthOf[c.probe.Var], probeIdx: c.probeIdx, numeric: c.e.numeric}
 	}
 	for d := 1; d < len(pl.vars); d++ {
 		if pl.vars[d].join == nil {

@@ -10,11 +10,14 @@ import (
 	"tdb/temporal"
 )
 
-// plannerOn returns the session with the planner force-enabled, so these
-// tests keep asserting planner internals even when the whole suite runs
-// under TDB_DISABLE_PLANNER=1 (the CI ablation job).
+// plannerOn returns the session with the planner and its statistics
+// force-enabled, so these tests keep asserting planner internals even when
+// the whole suite runs under TDB_DISABLE_PLANNER=1 or TDB_DISABLE_STATS=1
+// (the CI ablation jobs). Tests exercising an ablation flip it back
+// explicitly.
 func plannerOn(ses *Session) *Session {
 	ses.DisablePlanner(false)
+	ses.DisableStats(false)
 	return ses
 }
 
@@ -316,20 +319,22 @@ func TestDisablePlannerEnv(t *testing.T) {
 	}
 }
 
-// forceParallel lowers the fan-out threshold so the parallel path engages
-// even on the small test fixtures, restoring it on cleanup.
+// forceParallel lowers both fan-out thresholds — the stats-off outer-size
+// rule and the cost-based cutoff — so the parallel path engages even on the
+// small test fixtures, restoring them on cleanup.
 func forceParallel(t testing.TB) {
 	t.Helper()
-	old := parallelMinOuter
-	parallelMinOuter = 1
-	t.Cleanup(func() { parallelMinOuter = old })
+	oldOuter, oldCost := parallelMinOuter, parallelMinCost
+	parallelMinOuter, parallelMinCost = 1, 1
+	t.Cleanup(func() { parallelMinOuter, parallelMinCost = oldOuter, oldCost })
 }
 
-// differential runs the query five ways — planner on (serial), planner
-// off (naive nested loop), planner on with a four-worker pool, and then
-// twice through the result cache (cold, then warm so the second run is a
-// hit when the cache is enabled) — and asserts all rendered resultsets are
-// byte-identical. The first three arms bypass the cache so each one
+// differential runs the query six ways — planner on (serial), planner
+// off (naive nested loop), planner on with statistics disabled (v1
+// heuristics), planner on with a four-worker pool, and then twice through
+// the result cache (cold, then warm so the second run is a hit when the
+// cache is enabled) — and asserts all rendered resultsets are
+// byte-identical. The first four arms bypass the cache so each one
 // actually executes; under TDB_CACHE_BYTES=0 the cache arms are
 // passthrough and still must agree.
 func differential(t *testing.T, ses *Session, src string) {
@@ -346,6 +351,12 @@ func differential(t *testing.T, ses *Session, src string) {
 	ses.DisablePlanner(false)
 	if err != nil {
 		t.Fatalf("planner off: %v\n%s", err, src)
+	}
+	ses.DisableStats(true)
+	nostats, err := ses.Query(src)
+	ses.DisableStats(false)
+	if err != nil {
+		t.Fatalf("stats off: %v\n%s", err, src)
 	}
 	ses.SetParallelism(4)
 	par, err := ses.Query(src)
@@ -365,6 +376,10 @@ func differential(t *testing.T, ses *Session, src string) {
 	if on.String() != off.String() {
 		t.Errorf("planner changed the answer for:\n%s\n--- planner on ---\n%s\n--- planner off ---\n%s",
 			src, on, off)
+	}
+	if on.String() != nostats.String() {
+		t.Errorf("statistics changed the answer for:\n%s\n--- stats on ---\n%s\n--- stats off ---\n%s",
+			src, on, nostats)
 	}
 	if on.String() != par.String() {
 		t.Errorf("parallel execution changed the answer for:\n%s\n--- serial ---\n%s\n--- parallel ---\n%s",
@@ -561,6 +576,45 @@ func TestPlannerTraceSpan(t *testing.T) {
 	}
 	if execute.notes["rows_returned"] != 3 {
 		t.Errorf("execute rows_returned = %d, want 3", execute.notes["rows_returned"])
+	}
+}
+
+// A statistics-guided plan emits a stats span carrying the cost model's
+// conclusions next to the plan span; the ablation emits none.
+func TestStatsTraceSpan(t *testing.T) {
+	ses := plannerOn(planFixture(t))
+	tr := &recordingTracer{}
+	ses.SetTracer(tr)
+	if _, err := ses.Query(`retrieve (s.tag, b.tag) where s.k = b.k`); err != nil {
+		t.Fatal(err)
+	}
+	var stSp *recordedSpan
+	for _, sp := range tr.spans {
+		if sp.name == "stats" {
+			stSp = sp
+		}
+	}
+	if stSp == nil {
+		t.Fatal("no stats span recorded")
+	}
+	for _, note := range []string{"est_work", "est_rows", "probe_skips"} {
+		if _, ok := stSp.notes[note]; !ok {
+			t.Errorf("stats span missing %q note", note)
+		}
+	}
+	if stSp.notes["est_rows"] != 3 {
+		t.Errorf("stats est_rows = %d, want 3", stSp.notes["est_rows"])
+	}
+
+	ses.DisableStats(true)
+	tr.spans = nil
+	if _, err := ses.Query(`retrieve (s.tag, b.tag) where s.k = b.k`); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range tr.spans {
+		if sp.name == "stats" {
+			t.Error("stats span emitted with statistics disabled")
+		}
 	}
 }
 
