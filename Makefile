@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nostats race-stats test-nocache test-nosegments race-segments test-faults race-recovery test-repl race-repl race-ingest soak-ingest figures-check plan-corpus bench bench-smoke bench-json bench-compare
+.PHONY: check fmt vet build test race race-parallel race-cache test-noplanner test-nostats race-stats test-nocache test-nosegments race-segments test-faults race-recovery test-repl race-repl race-ingest soak-ingest soak-traffic figures-check plan-corpus bench bench-smoke bench-json bench-compare
 
 check: fmt vet build race race-parallel race-cache test-noplanner test-nostats test-nocache test-nosegments race-segments test-faults test-repl figures-check plan-corpus
 
@@ -136,6 +136,20 @@ race-ingest:
 		-run 'Group|Load|Ingest|Batch|Pipeline|Checkpoint|Concurrent' \
 		. ./server ./internal/wal
 
+# The nightly traffic soak: a seeded 100k-operation wire workload
+# (appends, as-of point reads, overlap scans, windowed aggregates,
+# replaces) driven by tdbgen over pipelined TCP connections against a
+# real server, publishing per-op p50/p99 latency histograms as a
+# benchjson-compatible JSON report. tdbgen exits non-zero when any
+# operation errors, so an error rate above zero fails the target; the
+# nightly CI job uploads $(SOAK_REPORT) as an artifact.
+SOAK_OPS ?= 100000
+SOAK_SEED ?= 85
+SOAK_REPORT ?= tdbgen_soak.json
+soak-traffic:
+	$(GO) run ./cmd/tdbgen -ops $(SOAK_OPS) -seed $(SOAK_SEED) \
+		-conns 8 -pipeline 16 -report $(SOAK_REPORT)
+
 # The committed paper figures must match what the code generates.
 figures-check:
 	@$(GO) run ./cmd/figures > /tmp/tdb_figures_gen.txt && \
@@ -163,8 +177,8 @@ bench-smoke:
 # the code's cost.
 bench-json:
 	$(GO) test -run '^$$' -benchmem -count=3 \
-		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel|BenchmarkJoinSkewed|BenchmarkPlanWithStats|BenchmarkAsOfCached|BenchmarkReplicaCatchup|BenchmarkReadFanout|BenchmarkAsOf1M|BenchmarkOverlap1M|BenchmarkSegmentSeal|BenchmarkIngestThroughput' \
-		./tquel ./server . | $(GO) run ./cmd/benchjson > BENCH_PR9.json
+		-bench 'BenchmarkJoinEquiSelective|BenchmarkJoinCrossSmall|BenchmarkWhenOverlapIndexed|BenchmarkEvalWhere|BenchmarkJoinParallel|BenchmarkJoinSkewed|BenchmarkPlanWithStats|BenchmarkAsOfCached|BenchmarkWindowAggregate|BenchmarkCoalesce|BenchmarkReplicaCatchup|BenchmarkReadFanout|BenchmarkAsOf1M|BenchmarkOverlap1M|BenchmarkSegmentSeal|BenchmarkIngestThroughput' \
+		./tquel ./server . | $(GO) run ./cmd/benchjson > BENCH_PR10.json
 
 # Guard against the committed baseline: exits non-zero when a shared
 # benchmark got more than 1.25x slower (CI runs this warn-only; see ci.yml).

@@ -176,6 +176,43 @@ func TestCompareMalformedInputs(t *testing.T) {
 	}
 }
 
+// A baseline that predates the window-aggregate work must not gate the
+// benchmarks this PR introduces: window, coalesce, and tdbgen entries in
+// the new report are listed as new-only (no ratio, never regressed) while
+// the shared benchmarks are still rated against the threshold.
+func TestCompareWindowBenchmarksNewOnly(t *testing.T) {
+	oldPath, _ := writeFixtures(t)
+	newRep := `{
+  "goos": "linux",
+  "results": [
+    {"name": "BenchmarkJoinCrossSmall/planner=on", "pkg": "tdb/tquel", "iterations": 55, "ns_per_op": 1900000},
+    {"name": "BenchmarkWindowAggregate", "pkg": "tdb/tquel", "iterations": 50, "ns_per_op": 90000},
+    {"name": "BenchmarkCoalesce", "pkg": "tdb/tquel", "iterations": 80, "ns_per_op": 40000},
+    {"name": "BenchmarkTdbgen/append", "pkg": "tdb/cmd/tdbgen", "iterations": 100000, "ns_per_op": 250000}
+  ]
+}`
+	p := filepath.Join(t.TempDir(), "pr10.json")
+	if err := os.WriteFile(p, []byte(newRep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := runCompare([]string{oldPath, p, "-threshold", "1.25"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, line := range strings.Split(out, "\n") {
+		for _, name := range []string{"BenchmarkWindowAggregate", "BenchmarkCoalesce", "BenchmarkTdbgen/append"} {
+			if strings.Contains(line, name) && !strings.Contains(line, "new") {
+				t.Errorf("window-era benchmark not marked new: %s", line)
+			}
+		}
+	}
+	if strings.Contains(out, "REGRESSED") {
+		t.Errorf("baseline-absent benchmarks flagged a regression:\n%s", out)
+	}
+}
+
 // A new report whose every benchmark is new — the first run after adding a
 // benchmark suite — passes the gate: everything is listed as "new", no
 // ratio, exit 0.

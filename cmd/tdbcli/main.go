@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"tdb/internal/command"
 	"tdb/server"
 )
 
@@ -54,8 +55,17 @@ func main() {
 		}
 		src := strings.ReplaceAll(buf.String(), ";", " ")
 		buf.Reset()
-		if strings.TrimSpace(src) != "" {
-			resp, err := c.Exec(src)
+		if trimmed := strings.TrimSpace(src); trimmed != "" {
+			// Admin verbs from the shared registry ("cache", "config",
+			// "stats", "help") travel as wire commands; everything else is
+			// TQuel source.
+			var resp *server.Response
+			var err error
+			if command.IsCommand(trimmed) {
+				resp, err = c.Command(trimmed)
+			} else {
+				resp, err = c.Exec(src)
+			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "tdbcli:", err)
 				os.Exit(1)
@@ -66,6 +76,9 @@ func main() {
 				} else if o.Msg != "" {
 					fmt.Println(o.Msg)
 				}
+			}
+			if resp.Cache != nil && len(resp.Outcomes) == 0 {
+				fmt.Printf("%+v\n", *resp.Cache)
 			}
 			if resp.Error != "" {
 				fmt.Fprintln(os.Stderr, resp.Error)

@@ -1,0 +1,495 @@
+// Command tdbgen is a seeded workload simulator that drives a live tdbd
+// server over the wire protocol: configurable mixes of appends, as-of
+// point reads, overlap scans, windowed aggregates, and replaces at a
+// controlled pipeline depth, recording per-operation latency histograms
+// and emitting a benchjson-compatible JSON report (p50/p99 included), so
+// soak runs can be committed, compared, and gated like any benchmark.
+//
+// Usage:
+//
+//	tdbgen -addr 127.0.0.1:4791 -ops 100000 -seed 85 -conns 4 -report soak.json
+//
+// With no -addr, tdbgen self-hosts an in-memory tdbd on a loopback
+// listener and drives that — the workload still crosses a real TCP
+// connection and the full protocol stack. With -replicas, reads fan out
+// through a replica-aware Pool instead of per-worker connections.
+//
+// The generator is deterministic for a given (-seed, -conns, -ops, -mix):
+// each worker derives its own rng stream, so reruns replay the same
+// statement sequence. Any execution or transport error makes the exit
+// status non-zero; soak jobs treat a single failed operation as a failure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdb"
+	"tdb/internal/obs"
+	"tdb/server"
+)
+
+// opKinds in mix-spec order. Window ops alternate a coalesce suffix so the
+// coalescing path sees wire traffic too.
+var opKinds = []string{"append", "asof", "overlap", "window", "replace"}
+
+type config struct {
+	addr     string
+	replicas string
+	ops      int
+	seed     int64
+	conns    int
+	pipeline int
+	mix      string
+	report   string
+	relation string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "tdbd address; empty self-hosts an in-memory server")
+	flag.StringVar(&cfg.replicas, "replicas", "", "comma-separated follower addresses (routes reads through a Pool)")
+	flag.IntVar(&cfg.ops, "ops", 10000, "total operations across all connections")
+	flag.Int64Var(&cfg.seed, "seed", 85, "rng seed; reruns with the same seed replay the same workload")
+	flag.IntVar(&cfg.conns, "conns", 4, "concurrent connections (workers)")
+	flag.IntVar(&cfg.pipeline, "pipeline", 1, "requests written per flush; >1 amortizes round trips (latency is per flush / depth)")
+	flag.StringVar(&cfg.mix, "mix", "append=60,asof=12,overlap=10,window=10,replace=8",
+		"operation mix as kind=weight pairs; kinds: "+strings.Join(opKinds, ", "))
+	flag.StringVar(&cfg.report, "report", "", "write the JSON report here (empty = stdout)")
+	flag.StringVar(&cfg.relation, "relation", "gen", "relation name to create and drive")
+	flag.Parse()
+	logger := log.New(os.Stderr, "tdbgen: ", log.LstdFlags)
+	if err := run(cfg, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// mixTable is the cumulative-weight lookup a worker samples op kinds from.
+type mixTable struct {
+	kinds []string
+	cum   []int
+	total int
+}
+
+func parseMix(spec string) (*mixTable, error) {
+	weights := map[string]int{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not kind=weight", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 0 {
+			return nil, fmt.Errorf("mix weight %q is not a non-negative integer", val)
+		}
+		known := false
+		for _, k := range opKinds {
+			if k == kind {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown op kind %q (want one of %s)", kind, strings.Join(opKinds, ", "))
+		}
+		weights[kind] = w
+	}
+	t := &mixTable{}
+	for _, k := range opKinds {
+		if w := weights[k]; w > 0 {
+			t.total += w
+			t.kinds = append(t.kinds, k)
+			t.cum = append(t.cum, t.total)
+		}
+	}
+	if t.total == 0 {
+		return nil, fmt.Errorf("mix %q has no positive weights", spec)
+	}
+	return t, nil
+}
+
+func (t *mixTable) pick(rng *rand.Rand) string {
+	n := rng.Intn(t.total)
+	for i, c := range t.cum {
+		if n < c {
+			return t.kinds[i]
+		}
+	}
+	return t.kinds[len(t.kinds)-1]
+}
+
+// opStats is one op kind's latency digest in the report.
+type opStats struct {
+	Ops         uint64  `json:"ops"`
+	Errors      uint64  `json:"errors"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+// benchResult mirrors cmd/benchjson's result shape so `benchjson compare`
+// can diff two tdbgen reports directly.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Pkg        string  `json:"pkg,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+type genReport struct {
+	Goos    string        `json:"goos,omitempty"`
+	Goarch  string        `json:"goarch,omitempty"`
+	Results []benchResult `json:"results"`
+
+	Seed           int64              `json:"seed"`
+	Ops            uint64             `json:"ops"`
+	Conns          int                `json:"conns"`
+	Pipeline       int                `json:"pipeline"`
+	Mix            string             `json:"mix"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	OpsPerSecond   float64            `json:"ops_per_second"`
+	Errors         uint64             `json:"errors"`
+	PerOp          map[string]opStats `json:"per_op"`
+}
+
+func run(cfg config, logger *log.Logger) error {
+	mix, err := parseMix(cfg.mix)
+	if err != nil {
+		return err
+	}
+	if cfg.conns < 1 {
+		cfg.conns = 1
+	}
+	if cfg.pipeline < 1 {
+		cfg.pipeline = 1
+	}
+
+	// Self-host an in-memory server when no address was given: the workload
+	// still crosses loopback TCP and the full protocol stack.
+	addr := cfg.addr
+	if addr == "" {
+		db, err := tdb.Open("", tdb.Options{})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		srv := server.New(db, logger)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(l)
+		defer srv.Close()
+		addr = l.Addr().String()
+		logger.Printf("self-hosted tdbd on %s", addr)
+	}
+
+	reg := obs.NewRegistry()
+	hists := map[string]*obs.Histogram{}
+	for _, k := range opKinds {
+		hists[k] = reg.Histogram(
+			fmt.Sprintf("tdbgen_op_seconds{op=%q}", k),
+			"per-operation wire latency by kind", obs.TimeBuckets)
+	}
+	var errCount atomic.Uint64
+	errByKind := map[string]*atomic.Uint64{}
+	for _, k := range opKinds {
+		errByKind[k] = &atomic.Uint64{}
+	}
+	// sums tracks exact per-kind latency totals for mean ns/op; histograms
+	// keep the tails.
+	sums := map[string]*atomic.Uint64{} // nanoseconds
+	for _, k := range opKinds {
+		sums[k] = &atomic.Uint64{}
+	}
+
+	// Schema setup on a throwaway connection. A rerun against a persistent
+	// server finds the relation already there; that is fine.
+	setup, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	create := fmt.Sprintf("create temporal relation %s (id = string, shard = string, v = int) key (id)", cfg.relation)
+	resp, err := setup.Exec(create)
+	if err != nil {
+		setup.Close()
+		return err
+	}
+	if resp.Error != "" && !strings.Contains(resp.Error, "exists") {
+		setup.Close()
+		return fmt.Errorf("creating %s: %s", cfg.relation, resp.Error)
+	}
+	setup.Close()
+
+	// Pool mode: reads fan out to replicas, writes go to the primary, and
+	// the range declaration is broadcast once. Otherwise each worker gets a
+	// private connection with its own session.
+	var pool *server.Pool
+	decl := fmt.Sprintf("range of g is %s", cfg.relation)
+	if cfg.replicas != "" {
+		var reps []string
+		for _, r := range strings.Split(cfg.replicas, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				reps = append(reps, r)
+			}
+		}
+		pool, err = server.NewPool(addr, reps, server.PoolOptions{MaxLag: -1})
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		if resp, err := pool.Exec(context.Background(), decl); err != nil {
+			return err
+		} else if resp.Error != "" {
+			return fmt.Errorf("declaring range: %s", resp.Error)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, cfg.conns)
+	for w := 0; w < cfg.conns; w++ {
+		n := cfg.ops / cfg.conns
+		if w < cfg.ops%cfg.conns {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			wk := &worker{
+				id:    w,
+				rel:   cfg.relation,
+				rng:   rand.New(rand.NewSource(cfg.seed + int64(w)*1_000_003)),
+				mix:   mix,
+				pool:  pool,
+				depth: cfg.pipeline,
+				hists: hists,
+				sums:  sums,
+				errs:  errByKind,
+				total: &errCount,
+			}
+			workerErrs[w] = wk.run(addr, decl, n)
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, werr := range workerErrs {
+		if werr != nil {
+			return werr
+		}
+	}
+
+	rep := buildReport(cfg, mix, hists, sums, errByKind, errCount.Load(), elapsed)
+	out := os.Stdout
+	if cfg.report != "" {
+		f, err := os.Create(cfg.report)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	logger.Printf("%d ops in %.2fs (%.0f ops/s), %d errors",
+		rep.Ops, rep.ElapsedSeconds, rep.OpsPerSecond, rep.Errors)
+	for _, k := range opKinds {
+		if s, ok := rep.PerOp[k]; ok && s.Ops > 0 {
+			logger.Printf("  %-8s %7d ops  p50 %8.1fµs  p99 %8.1fµs",
+				k, s.Ops, s.P50Seconds*1e6, s.P99Seconds*1e6)
+		}
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d operation(s) failed", rep.Errors)
+	}
+	return nil
+}
+
+func buildReport(cfg config, mix *mixTable, hists map[string]*obs.Histogram,
+	sums map[string]*atomic.Uint64, errs map[string]*atomic.Uint64,
+	errTotal uint64, elapsed time.Duration) *genReport {
+	rep := &genReport{
+		Goos: runtime.GOOS, Goarch: runtime.GOARCH,
+		Seed: cfg.seed, Conns: cfg.conns, Pipeline: cfg.pipeline, Mix: cfg.mix,
+		ElapsedSeconds: elapsed.Seconds(),
+		Errors:         errTotal,
+		PerOp:          map[string]opStats{},
+	}
+	for _, k := range opKinds {
+		h := hists[k]
+		n := h.Count()
+		if n == 0 && errs[k].Load() == 0 {
+			continue
+		}
+		mean := 0.0
+		if n > 0 {
+			mean = float64(sums[k].Load()) / float64(n) / 1e9
+		}
+		rep.PerOp[k] = opStats{
+			Ops:         n,
+			Errors:      errs[k].Load(),
+			MeanSeconds: mean,
+			P50Seconds:  h.Quantile(0.50),
+			P99Seconds:  h.Quantile(0.99),
+		}
+		rep.Ops += n
+		rep.Results = append(rep.Results, benchResult{
+			Name:       "BenchmarkTdbgen/" + k,
+			Pkg:        "tdb/cmd/tdbgen",
+			Iterations: int64(n),
+			NsPerOp:    mean * 1e9,
+		})
+	}
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Name < rep.Results[j].Name })
+	if rep.ElapsedSeconds > 0 {
+		rep.OpsPerSecond = float64(rep.Ops) / rep.ElapsedSeconds
+	}
+	return rep
+}
+
+// worker drives one connection (or the shared pool) through n operations.
+type worker struct {
+	id    int
+	rel   string
+	rng   *rand.Rand
+	mix   *mixTable
+	pool  *server.Pool
+	depth int
+	hists map[string]*obs.Histogram
+	sums  map[string]*atomic.Uint64
+	errs  map[string]*atomic.Uint64
+	total *atomic.Uint64
+
+	seq int      // appends issued; ids are "w<id>k<seq>"
+	ids []string // ids this worker has appended, for point reads and replaces
+}
+
+func (wk *worker) run(addr, decl string, n int) error {
+	if wk.pool != nil {
+		return wk.runPool(n)
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("worker %d: %w", wk.id, err)
+	}
+	defer c.Close()
+	if resp, err := c.Exec(decl); err != nil {
+		return fmt.Errorf("worker %d: %w", wk.id, err)
+	} else if resp.Error != "" {
+		return fmt.Errorf("worker %d: %s", wk.id, resp.Error)
+	}
+
+	// Operations flush in pipeline-depth batches: every request is written
+	// before any response is read, so one round trip covers the whole
+	// flush. Recorded latency is flush time divided by depth — exact at
+	// depth 1, amortized above it.
+	for done := 0; done < n; {
+		batch := wk.depth
+		if left := n - done; batch > left {
+			batch = left
+		}
+		kinds := make([]string, batch)
+		reqs := make([]server.Request, batch)
+		for i := range reqs {
+			kinds[i], reqs[i] = wk.next()
+		}
+		begin := time.Now()
+		resps, err := c.Pipeline(reqs)
+		per := time.Since(begin) / time.Duration(batch)
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", wk.id, err)
+		}
+		for i, resp := range resps {
+			wk.record(kinds[i], per, resp.Error)
+		}
+		done += batch
+	}
+	return nil
+}
+
+func (wk *worker) runPool(n int) error {
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		kind, req := wk.next()
+		begin := time.Now()
+		resp, err := wk.pool.Exec(ctx, req.Src)
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", wk.id, err)
+		}
+		wk.record(kind, time.Since(begin), resp.Error)
+	}
+	return nil
+}
+
+func (wk *worker) record(kind string, lat time.Duration, execErr string) {
+	wk.hists[kind].Observe(lat.Seconds())
+	wk.sums[kind].Add(uint64(lat.Nanoseconds()))
+	if execErr != "" {
+		wk.errs[kind].Add(1)
+		wk.total.Add(1)
+	}
+}
+
+// next generates one operation. Point reads and replaces target ids this
+// worker appended earlier; until the first append lands they degrade to
+// appends, keeping the statement stream well-formed at any mix.
+func (wk *worker) next() (string, server.Request) {
+	kind := wk.mix.pick(wk.rng)
+	if (kind == "asof" || kind == "replace") && len(wk.ids) == 0 {
+		kind = "append"
+	}
+	var src string
+	switch kind {
+	case "append":
+		id := fmt.Sprintf("w%dk%d", wk.id, wk.seq)
+		wk.seq++
+		wk.ids = append(wk.ids, id)
+		src = fmt.Sprintf(`append to %s (id = %q, shard = "s%02d", v = %d) valid from %q to %q`,
+			wk.rel, id, wk.rng.Intn(16), wk.rng.Intn(1000), wk.fromDate(), wk.toDate())
+	case "asof":
+		id := wk.ids[wk.rng.Intn(len(wk.ids))]
+		src = fmt.Sprintf(`retrieve (g.v) where g.id = %q as of %q`, id, wk.date(82, 3))
+	case "overlap":
+		src = fmt.Sprintf(`retrieve (g.id, g.v) where g.shard = "s%02d" when g overlap %q`,
+			wk.rng.Intn(16), wk.date(81, 3))
+	case "window":
+		src = fmt.Sprintf(`retrieve (c = count(g.v), s = sum(g.v)) where g.shard = "s%02d" window %d`,
+			wk.rng.Intn(16), 31536000/(1+wk.rng.Intn(3)))
+		if wk.rng.Intn(2) == 0 {
+			src += " coalesce"
+		}
+	case "replace":
+		id := wk.ids[wk.rng.Intn(len(wk.ids))]
+		src = fmt.Sprintf(`replace g (v = %d) where g.id = %q valid from %q to %q`,
+			wk.rng.Intn(1000), id, wk.fromDate(), wk.toDate())
+	}
+	return kind, server.Request{Src: src}
+}
+
+// Date literals are mm/dd/yy strings, the only instant spelling the TQuel
+// grammar accepts. fromDate draws from 1980-81 and toDate from 1982-84, so
+// "valid from A to B" intervals are never inverted.
+func (wk *worker) date(baseYear, spanYears int) string {
+	return fmt.Sprintf("%02d/%02d/%02d", 1+wk.rng.Intn(12), 1+wk.rng.Intn(28), baseYear+wk.rng.Intn(spanYears))
+}
+
+func (wk *worker) fromDate() string { return wk.date(80, 2) }
+func (wk *worker) toDate() string   { return wk.date(82, 3) }

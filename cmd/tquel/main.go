@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"tdb"
+	"tdb/internal/command"
 	"tdb/tquel"
 )
 
@@ -65,7 +66,7 @@ func main() {
 			run(ses, b.String())
 			return
 		}
-		interactive(ses)
+		interactive(db, ses)
 	}
 }
 
@@ -82,9 +83,10 @@ func run(ses *tquel.Session, src string) {
 }
 
 // interactive reads statements terminated by ';' and executes them,
-// continuing past errors.
-func interactive(ses *tquel.Session) {
-	fmt.Println("tdb TQuel session — statements end with ';' (ctrl-D to quit)")
+// continuing past errors. Admin verbs from the shared registry ("cache",
+// "config", "stats", "help") dispatch locally instead of parsing as TQuel.
+func interactive(db *tdb.DB, ses *tquel.Session) {
+	fmt.Println("tdb TQuel session — statements end with ';' (ctrl-D to quit, \"help;\" for commands)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -96,13 +98,25 @@ func interactive(ses *tquel.Session) {
 		if strings.Contains(line, ";") {
 			src := stripSemicolons(buf.String())
 			buf.Reset()
-			if strings.TrimSpace(src) != "" {
-				outs, err := ses.Exec(src)
-				for _, o := range outs {
-					fmt.Println(o)
-				}
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
+			if trimmed := strings.TrimSpace(src); trimmed != "" {
+				if command.IsCommand(trimmed) {
+					res, err := command.Dispatch(db, trimmed)
+					switch {
+					case err != nil:
+						fmt.Fprintln(os.Stderr, err)
+					case res.Text != "":
+						fmt.Println(res.Text)
+					case res.Cache != nil:
+						fmt.Printf("%+v\n", *res.Cache)
+					}
+				} else {
+					outs, err := ses.Exec(src)
+					for _, o := range outs {
+						fmt.Println(o)
+					}
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+					}
 				}
 			}
 			fmt.Print("tquel> ")

@@ -4,11 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"strconv"
 	"sync"
 	"time"
 
 	"tdb/internal/catalog"
+	"tdb/internal/config"
 	"tdb/internal/core"
 	"tdb/internal/qcache"
 	"tdb/internal/segment"
@@ -58,6 +58,10 @@ type Options struct {
 	// TDB_GROUP_COMMIT_WAIT and then flushes immediately (batches still
 	// form naturally from commits arriving during the previous fsync).
 	GroupCommitWait time.Duration
+	// LoadChunkRows sets how many rows Relation.Load commits per
+	// transaction. Zero defers to TDB_LOAD_CHUNK and then
+	// DefaultLoadChunkRows.
+	LoadChunkRows int
 }
 
 // resolveCacheBytes applies the CacheBytes precedence documented on Options.
@@ -65,12 +69,7 @@ func resolveCacheBytes(opt int64) int64 {
 	if opt != 0 {
 		return opt
 	}
-	if env := os.Getenv("TDB_CACHE_BYTES"); env != "" {
-		if n, err := strconv.ParseInt(env, 10, 64); err == nil {
-			return n
-		}
-	}
-	return DefaultCacheBytes
+	return config.Int64(config.EnvCacheBytes, DefaultCacheBytes)
 }
 
 // DB is a temporal database: a catalog of relations plus the transaction
@@ -94,6 +93,7 @@ type DB struct {
 	replMu       sync.Mutex    // guards replWatch; never held around I/O
 	replWatch    chan struct{} // closed+replaced when the log position advances
 	recovery     RecoveryInfo
+	loadChunkOpt int // explicit Load chunk size; 0 defers to env/default
 	qc           *qcache.Cache
 	stats        map[string]*stats.Rel // per-relation temporal statistics (see stats.go)
 }
@@ -141,6 +141,7 @@ func Open(path string, opts Options) (*DB, error) {
 		readOnly:     opts.ReadOnly,
 		clock:        opts.Clock,
 		replWatch:    make(chan struct{}),
+		loadChunkOpt: opts.LoadChunkRows,
 		qc:           qcache.New(resolveCacheBytes(opts.CacheBytes)),
 		stats:        make(map[string]*stats.Rel),
 	}

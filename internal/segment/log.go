@@ -2,10 +2,9 @@ package segment
 
 import (
 	"fmt"
-	"os"
 	"sort"
-	"strconv"
 
+	"tdb/internal/config"
 	"tdb/internal/schema"
 	"tdb/temporal"
 )
@@ -36,34 +35,15 @@ type Log struct {
 	disabled bool // never seal; scans take the flat path
 }
 
-// envDisabled reports whether TDB_DISABLE_SEGMENTS asks for the flat-slice
-// ablation path.
-func envDisabled() bool {
-	switch os.Getenv("TDB_DISABLE_SEGMENTS") {
-	case "1", "true", "yes":
-		return true
-	}
-	return false
-}
-
-// envSealRows returns the TDB_SEGMENT_ROWS override, or 0 for the default.
-func envSealRows() int {
-	if env := os.Getenv("TDB_SEGMENT_ROWS"); env != "" {
-		if n, err := strconv.Atoi(env); err == nil && n > 0 {
-			return n
-		}
-	}
-	return 0
-}
-
 // NewLog creates an empty log for relations of the given schema, honoring
-// the TDB_DISABLE_SEGMENTS and TDB_SEGMENT_ROWS environment ablation knobs.
+// the TDB_DISABLE_SEGMENTS and TDB_SEGMENT_ROWS environment ablation knobs
+// (read here, at relation creation, through the config registry).
 func NewLog(sch *schema.Schema) *Log {
-	l := &Log{sch: sch, sealRows: DefaultSealRows, disabled: envDisabled()}
-	if n := envSealRows(); n > 0 {
-		l.sealRows = n
+	return &Log{
+		sch:      sch,
+		sealRows: config.PosInt(config.EnvSegmentRows, DefaultSealRows),
+		disabled: config.Bool(config.EnvDisableSegments),
 	}
-	return l
 }
 
 // Len returns the total number of rows, sealed and tail.

@@ -153,6 +153,17 @@ func (h *Hist) Merge(o *Hist) {
 	}
 }
 
+// Extent returns the exact extremes of the recorded values; ok is false
+// before the first Add. Unlike bucket counts these are not estimates — the
+// histogram tracks min and max exactly for grid alignment — which makes
+// them safe anchors for window-count estimation.
+func (h *Hist) Extent() (min, max int64, ok bool) {
+	if h.n == 0 {
+		return 0, 0, false
+	}
+	return h.min, h.max, true
+}
+
 // Occupied returns the number of non-empty buckets (for observability).
 func (h *Hist) Occupied() int {
 	n := 0
@@ -265,6 +276,37 @@ func (ih *IntervalHist) ContainsSel(t temporal.Chronon) float64 {
 	}
 	est := ih.startsBefore(t.Next()) - ih.endsAtOrBefore(t)
 	return clamp01(est / float64(ih.N))
+}
+
+// Extent returns the finite span [lo, hi) covered by the recorded
+// intervals' finite endpoints: the earliest finite start through the latest
+// finite end (falling back to start extremes when every interval is open on
+// one side). ok is false when no finite endpoint has been recorded — the
+// windowed-aggregation cost model then has nothing to bound window counts
+// with.
+func (ih *IntervalHist) Extent() (lo, hi temporal.Chronon, ok bool) {
+	sMin, sMax, sOK := ih.Starts.Extent()
+	eMin, eMax, eOK := ih.Ends.Extent()
+	switch {
+	case sOK && eOK:
+		lo, hi = temporal.Chronon(sMin), temporal.Chronon(eMax)
+		if c := temporal.Chronon(eMin); c < lo {
+			lo = c
+		}
+		if c := temporal.Chronon(sMax); c > hi {
+			hi = c
+		}
+	case sOK:
+		lo, hi = temporal.Chronon(sMin), temporal.Chronon(sMax)
+	case eOK:
+		lo, hi = temporal.Chronon(eMin), temporal.Chronon(eMax)
+	default:
+		return 0, 0, false
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return lo, hi, true
 }
 
 // Merge folds another interval histogram in.

@@ -147,6 +147,17 @@ func (r *Rel) ValidOverlapSel(q temporal.Interval) (float64, bool) {
 	return r.Valid.OverlapSel(q), true
 }
 
+// ValidExtent returns the finite valid-time span the relation's recorded
+// intervals cover; ok is false without a valid axis or finite endpoints.
+// The planner divides it by a window clause's slide to estimate how many
+// windows the aggregation pass will materialize.
+func (r *Rel) ValidExtent() (lo, hi temporal.Chronon, ok bool) {
+	if !r.HasValid || r.Valid.N == 0 {
+		return 0, 0, false
+	}
+	return r.Valid.Extent()
+}
+
 // TransContainsSel estimates the fraction of versions visible as of
 // transaction instant t (their transaction stamp contains t).
 func (r *Rel) TransContainsSel(t temporal.Chronon) (float64, bool) {

@@ -1,11 +1,11 @@
 package wal
 
 import (
-	"os"
 	"runtime"
-	"strconv"
 	"sync"
 	"time"
+
+	"tdb/internal/config"
 )
 
 // Group commit. Every committed transaction must reach the log, and with
@@ -29,13 +29,14 @@ import (
 const DefaultGroupMaxBatch = 512
 
 // Environment knobs for group commit, read when the corresponding
-// GroupOptions field is zero.
-const (
+// GroupOptions field is zero. They alias the config registry's names so
+// existing callers keep compiling.
+var (
 	// EnvGroupCommitWait names the coalescing-window duration knob
 	// (time.ParseDuration syntax, e.g. "2ms").
-	EnvGroupCommitWait = "TDB_GROUP_COMMIT_WAIT"
+	EnvGroupCommitWait = config.EnvGroupCommitWait
 	// EnvGroupCommitBatch names the per-flush record cap knob.
-	EnvGroupCommitBatch = "TDB_GROUP_COMMIT_BATCH"
+	EnvGroupCommitBatch = config.EnvGroupCommitBatch
 )
 
 // GroupOptions configure a GroupCommitter.
@@ -93,21 +94,13 @@ type GroupCommitter struct {
 // defaults.
 func NewGroupCommitter(l *Log, opts GroupOptions) *GroupCommitter {
 	if opts.MaxBatch == 0 {
-		if env := os.Getenv(EnvGroupCommitBatch); env != "" {
-			if n, err := strconv.Atoi(env); err == nil && n > 0 {
-				opts.MaxBatch = n
-			}
-		}
+		opts.MaxBatch = config.PosInt(config.EnvGroupCommitBatch, 0)
 	}
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = DefaultGroupMaxBatch
 	}
 	if opts.MaxWait == 0 {
-		if env := os.Getenv(EnvGroupCommitWait); env != "" {
-			if d, err := time.ParseDuration(env); err == nil && d > 0 {
-				opts.MaxWait = d
-			}
-		}
+		opts.MaxWait = config.PosDuration(config.EnvGroupCommitWait, 0)
 	}
 	g := &GroupCommitter{
 		log:      l,

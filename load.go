@@ -18,9 +18,8 @@ package tdb
 
 import (
 	"fmt"
-	"os"
-	"strconv"
 
+	"tdb/internal/config"
 	"tdb/internal/segment"
 	"tdb/internal/txn"
 	"tdb/internal/wal"
@@ -28,18 +27,18 @@ import (
 )
 
 // DefaultLoadChunkRows is how many rows Load commits per transaction when
-// TDB_LOAD_CHUNK does not choose another value. It matches the segment
-// seal threshold so each full chunk seals into exactly one segment.
+// neither Options.LoadChunkRows nor TDB_LOAD_CHUNK chooses another value.
+// It matches the segment seal threshold so each full chunk seals into
+// exactly one segment.
 const DefaultLoadChunkRows = segment.DefaultSealRows
 
-// loadChunkRows resolves the chunk size: TDB_LOAD_CHUNK, then the default.
-func loadChunkRows() int {
-	if env := os.Getenv("TDB_LOAD_CHUNK"); env != "" {
-		if n, err := strconv.Atoi(env); err == nil && n > 0 {
-			return n
-		}
+// loadChunkRows resolves the chunk size: Options.LoadChunkRows, then
+// TDB_LOAD_CHUNK, then the default.
+func (db *DB) loadChunkRows() int {
+	if db.loadChunkOpt > 0 {
+		return db.loadChunkOpt
 	}
-	return DefaultLoadChunkRows
+	return config.PosInt(config.EnvLoadChunk, DefaultLoadChunkRows)
 }
 
 // LoadRow is one row of bulk ingest. For interval relations (historical,
@@ -65,7 +64,7 @@ func (r *Relation) Load(rows []LoadRow) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	chunk := loadChunkRows()
+	chunk := r.db.loadChunkRows()
 	var (
 		pendings []*wal.Pending
 		loaded   int

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"tdb"
+	"tdb/internal/command"
 	"tdb/internal/obs"
 	"tdb/internal/repl"
 	"tdb/tquel"
@@ -478,25 +479,21 @@ func protoLabel(v string) string {
 	}
 }
 
-// handleCmd serves the admin commands carried by Request.Cmd. A disabled
-// cache still answers "cache" (zeroed stats with max_bytes 0) so operators
-// can tell "off" from "cold".
+// handleCmd serves the admin commands carried by Request.Cmd through the
+// shared verb registry (internal/command) — the same set the REPL and
+// tdbcli dispatch, so a new verb registers once and works everywhere. A
+// disabled cache still answers "cache" (zeroed stats with max_bytes 0) so
+// operators can tell "off" from "cold".
 func (s *Server) handleCmd(cmd string) Response {
-	switch strings.TrimSpace(cmd) {
-	case "cache":
-		st := s.db.QueryCache().Stats()
-		return Response{Cache: &st}
-	case "cache clear":
-		qc := s.db.QueryCache()
-		qc.Clear()
-		st := qc.Stats()
-		return Response{
-			Cache:    &st,
-			Outcomes: []Outcome{{Stmt: "cache", Msg: "cache cleared"}},
-		}
-	default:
-		return Response{Error: fmt.Sprintf("unknown command %q (try \"cache\" or \"cache clear\")", cmd)}
+	res, err := command.Dispatch(s.db, cmd)
+	if err != nil {
+		return Response{Error: err.Error()}
 	}
+	resp := Response{Cache: res.Cache}
+	if res.Text != "" {
+		resp.Outcomes = []Outcome{{Stmt: res.Stmt, Msg: res.Text}}
+	}
+	return resp
 }
 
 // truncate bounds a string for log lines.

@@ -183,6 +183,26 @@ func (r *Relation) EstimateOverlap(q temporal.Interval) (float64, bool) {
 	return sel, ok
 }
 
+// EstimateValidExtent returns the finite valid-time span [lo, hi) this
+// relation's recorded intervals cover, from the statistics interval
+// histograms. ok is false for kinds without valid time or before any finite
+// endpoint has been recorded. The planner prices window clauses with it:
+// extent / slide bounds how many windows a windowed aggregation
+// materializes.
+func (r *Relation) EstimateValidExtent() (lo, hi temporal.Chronon, ok bool) {
+	r.db.mu.RLock()
+	defer r.db.mu.RUnlock()
+	e, ok := r.db.stats[r.Name()]
+	if !ok {
+		return 0, 0, false
+	}
+	lo, hi, ok = e.ValidExtent()
+	if ok {
+		stats.MEstimates.Inc()
+	}
+	return lo, hi, ok
+}
+
 // EstimateVersions returns the statistics view of this relation: versions
 // ever stored and the estimated fraction still current. ok is false when
 // no statistics exist yet.

@@ -75,7 +75,33 @@ func (s *Session) checkRetrieve(n *RetrieveStmt) error {
 			}
 		}
 	}
+	if n.Window != nil {
+		if !hasAggTargets(n) {
+			return errf(n.Window.Pos, "window clause requires aggregate targets (count, sum, avg, min, max, any)")
+		}
+		if n.Window.Size <= 0 {
+			return errf(n.Window.Pos, "window size must be positive")
+		}
+		if n.Window.Slide < 0 {
+			return errf(n.Window.Pos, "window slide must be positive")
+		}
+	}
+	if n.Coalesce && hasAggTargets(n) && n.Window == nil {
+		// Non-windowed aggregation already folds everything into one row per
+		// group with a single merged stamp; a coalesce pass would be inert.
+		return errf(n.CoalescePos, "coalesce applies to windowed aggregates or plain retrieves, not whole-relation aggregates")
+	}
 	return nil
+}
+
+// hasAggTargets reports whether any target is an aggregate call.
+func hasAggTargets(n *RetrieveStmt) bool {
+	for _, t := range n.Targets {
+		if _, ok := t.Expr.(*Agg); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // checkExpr resolves and types a scalar expression.

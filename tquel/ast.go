@@ -44,13 +44,34 @@ type RangeStmt struct {
 
 // RetrieveStmt is the TQuel retrieve statement.
 type RetrieveStmt struct {
-	Pos     Pos
-	Into    string // optional "into NAME"
-	Targets []Target
-	Valid   *ValidClause
-	Where   Expr
-	When    TemporalExpr
-	AsOf    *AsOfClause
+	Pos         Pos
+	Into        string // optional "into NAME"
+	Targets     []Target
+	Valid       *ValidClause
+	Where       Expr
+	When        TemporalExpr
+	AsOf        *AsOfClause
+	Window      *WindowClause // per-interval aggregation over valid time
+	Coalesce    bool          // merge value-equivalent rows with adjacent/overlapping valid intervals
+	CoalescePos Pos
+}
+
+// WindowClause is "window N [slide M]": evaluate the statement's aggregates
+// once per valid-time window of N chronons, tumbling by default or sliding
+// every M chronons. Sizes are literal chronon (second) counts.
+type WindowClause struct {
+	Pos   Pos
+	Size  int64
+	Slide int64 // 0 means tumbling: slide == size
+}
+
+// Step returns the window's effective slide: Slide, or Size for tumbling
+// windows.
+func (w *WindowClause) Step() int64 {
+	if w.Slide > 0 {
+		return w.Slide
+	}
+	return w.Size
 }
 
 // Target is one element of the target list: an optional result attribute

@@ -355,3 +355,75 @@ func BenchmarkAsOfCached(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWindowAggregate measures windowed aggregation over 5000
+// staggered finite versions: pseudo-row buffering, canonical-order fold,
+// and per-window emission.
+func BenchmarkWindowAggregate(b *testing.B) {
+	db := newDB(b)
+	ses := NewSession(db)
+	benchKV(b, db, "wh", 5000, 500)
+	if _, err := ses.Exec("range of h is wh"); err != nil {
+		b.Fatal(err)
+	}
+	ses.DisableCache(true)
+	const q = `retrieve (c = count(h.k), s = sum(h.k)) window 600`
+	res, err := ses.Query(q)
+	if err != nil || res.Len() == 0 {
+		b.Fatalf("%v, %v", res, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ses.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoalesce measures the coalescing pass over 5000 versions that
+// collapse into eight rows: dense group merging dominated by the sweep.
+func BenchmarkCoalesce(b *testing.B) {
+	db := newDB(b)
+	ses := NewSession(db)
+	sch, err := tdb.NewSchema(tdb.Attr("g", tdb.IntKind), tdb.Attr("v", tdb.StringKind))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.CreateRelation("co", tdb.Historical, sch); err != nil {
+		b.Fatal(err)
+	}
+	base := temporal.Date(1980, 1, 1)
+	err = db.Update(func(tx *tdb.Tx) error {
+		h, err := tx.Rel("co")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 5000; i++ {
+			t := tdb.NewTuple(tdb.Int(int64(i%8)), tdb.String("v"))
+			if err := h.Assert(t, base+temporal.Chronon(i), base+temporal.Chronon(i+16)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ses.Exec("range of c is co"); err != nil {
+		b.Fatal(err)
+	}
+	ses.DisableCache(true)
+	const q = `retrieve (c.g, c.v) coalesce`
+	res, err := ses.Query(q)
+	if err != nil || res.Len() != 8 {
+		b.Fatalf("rows = %v, err = %v", res.Len(), err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ses.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,10 +3,9 @@ package tquel
 import (
 	"errors"
 	"fmt"
-	"os"
-	"strconv"
 
 	"tdb"
+	"tdb/internal/config"
 	"tdb/internal/obs"
 	"tdb/internal/value"
 	"tdb/temporal"
@@ -45,22 +44,10 @@ func NewSession(db *tdb.DB) *Session {
 		ranges: make(map[string]string),
 		now:    func() temporal.Chronon { return temporal.SystemClock{}.Now() },
 	}
-	if v := os.Getenv("TDB_DISABLE_PLANNER"); v != "" && v != "0" && v != "false" {
-		s.noPlanner = true
-	}
-	if v := os.Getenv("TDB_DISABLE_STATS"); v != "" && v != "0" && v != "false" {
-		s.noStats = true
-	}
-	if v := os.Getenv("TDB_PARALLEL"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			s.parallelism = n
-		}
-	}
-	if v := os.Getenv("TDB_PARALLEL_MIN_COST"); v != "" {
-		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
-			s.parallelMinCost = f
-		}
-	}
+	s.noPlanner = config.Bool(config.EnvDisablePlanner)
+	s.noStats = config.Bool(config.EnvDisableStats)
+	s.parallelism = config.Int(config.EnvParallel, 0)
+	s.parallelMinCost = config.PosFloat(config.EnvParallelMinCost, 0)
 	return s
 }
 
@@ -370,7 +357,11 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 
 	tvars := targetVarSet(n)
 	var agg *aggregator
-	if hasAggregates(n.Targets) {
+	var win *windowAggregator
+	switch {
+	case n.Window != nil:
+		win = newWindowAggregator(n.Targets, n.Window)
+	case hasAggregates(n.Targets):
 		agg = newAggregator(n.Targets)
 	}
 	// emitRowTo runs with all variables bound in ev: stamp, project, fold.
@@ -407,6 +398,28 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 		row.Trans = stampIntersection(ev, order, tvars, func(b *binding) temporal.Interval { return b.trans })
 		if row.Valid.IsEmpty() || row.Trans.IsEmpty() {
 			// The participating facts were never jointly valid/present.
+			return nil
+		}
+		if win != nil {
+			// Windowed aggregation defers folding: buffer a pseudo-row
+			// carrying the plain-target and aggregate-argument values, so
+			// every execution path (naive, serial plan, parallel workers)
+			// produces the same mergeable buffers; win.finish folds them in
+			// canonical order afterwards.
+			row.Data = make(tdb.Tuple, 0, len(n.Targets))
+			for _, t := range n.Targets {
+				e := t.Expr
+				if ag, ok := e.(*Agg); ok {
+					e = ag.Arg
+				}
+				v, err := evalExpr(e, ev)
+				if err != nil {
+					return err
+				}
+				row.Data = append(row.Data, v)
+			}
+			row.key = row.canonicalKey()
+			*rows = append(*rows, row)
 			return nil
 		}
 		if agg != nil {
@@ -555,10 +568,20 @@ func (s *Session) execRetrieve(n *RetrieveStmt) (*Outcome, error) {
 			res.Rows = ex.rows
 		}
 	}
+	if win != nil {
+		pseudo := res.Rows
+		res.Rows = nil
+		if err := win.finish(pseudo, res); err != nil {
+			return nil, err
+		}
+	}
 	if agg != nil {
 		if err := agg.finish(res); err != nil {
 			return nil, err
 		}
+	}
+	if n.Coalesce {
+		res.Rows = coalesceRows(res.Rows)
 	}
 	res.sortAndDedup()
 	returned = int64(len(res.Rows))

@@ -68,7 +68,10 @@ func (s *Session) execExplain(n *ExplainStmt) (*Outcome, error) {
 	}
 	s.lastPlan = pl
 	var agg *aggregator
-	if hasAggregates(q.Targets) {
+	if q.Window == nil && hasAggregates(q.Targets) {
+		// Windowed aggregation buffers mergeable pseudo-rows, so it keeps
+		// the parallel dispatch; only whole-relation aggregation folds
+		// serially (mirroring execRetrieve's dispatch).
 		agg = &aggregator{}
 	}
 	return &Outcome{Stmt: "explain", Msg: renderPlan(s, pl, agg)}, nil
@@ -121,6 +124,15 @@ func renderPlan(s *Session, pl *queryPlan, agg *aggregator) string {
 	if pl.statsUsed {
 		fmt.Fprintf(&b, "\n  est work %s, est rows %s, parallel cutoff %s",
 			fmtEst(pl.estWork), fmtEst(pl.estRows), fmtEst(pl.parallelCut))
+	}
+	if pl.windowSize > 0 {
+		fmt.Fprintf(&b, "\n  window: size %d, slide %d", pl.windowSize, pl.windowStep)
+		if pl.statsUsed {
+			fmt.Fprintf(&b, ", est windows %s", fmtEst(pl.estWindows))
+		}
+	}
+	if pl.coalesced {
+		b.WriteString("\n  coalesce: merge value-equivalent valid intervals")
 	}
 	workers := s.effectiveParallelism()
 	if useParallel(pl, workers, agg) {

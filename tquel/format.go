@@ -59,6 +59,17 @@ func formatRetrieve(n *RetrieveStmt) string {
 			formatTemporal(&b, n.AsOf.Through)
 		}
 	}
+	if n.Window != nil {
+		b.WriteString(" window ")
+		b.WriteString(strconv.FormatInt(n.Window.Size, 10))
+		if n.Window.Slide > 0 {
+			b.WriteString(" slide ")
+			b.WriteString(strconv.FormatInt(n.Window.Slide, 10))
+		}
+	}
+	if n.Coalesce {
+		b.WriteString(" coalesce")
+	}
 	return b.String()
 }
 

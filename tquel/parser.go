@@ -1,6 +1,7 @@
 package tquel
 
 import (
+	"strconv"
 	"strings"
 
 	"tdb"
@@ -298,10 +299,58 @@ func (p *parser) retrieveStmt() (Stmt, error) {
 				return nil, err
 			}
 			st.AsOf = ao
+		case p.isKeyword("window"):
+			if st.Window != nil {
+				return nil, errf(p.cur().Pos, "duplicate window clause")
+			}
+			wc, err := p.windowClause()
+			if err != nil {
+				return nil, err
+			}
+			st.Window = wc
+		case p.isKeyword("coalesce"):
+			if st.Coalesce {
+				return nil, errf(p.cur().Pos, "duplicate coalesce clause")
+			}
+			st.CoalescePos = p.advance().Pos
+			st.Coalesce = true
 		default:
 			return st, nil
 		}
 	}
+}
+
+// windowClause parses "window N [slide M]" with N and M positive integer
+// chronon counts.
+func (p *parser) windowClause() (*WindowClause, error) {
+	pos := p.advance().Pos // window
+	size, err := p.chrononCount("window")
+	if err != nil {
+		return nil, err
+	}
+	wc := &WindowClause{Pos: pos, Size: size}
+	if p.acceptKeyword("slide") {
+		slide, err := p.chrononCount("slide")
+		if err != nil {
+			return nil, err
+		}
+		wc.Slide = slide
+	}
+	return wc, nil
+}
+
+// chrononCount parses one positive integer duration operand.
+func (p *parser) chrononCount(clause string) (int64, error) {
+	t := p.cur()
+	if t.Kind != TokInt {
+		return 0, errf(t.Pos, "%s expects a chronon count, found %q", clause, t.Text)
+	}
+	p.advance()
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, errf(t.Pos, "%s size must be a positive chronon count, got %q", clause, t.Text)
+	}
+	return n, nil
 }
 
 // target parses "[name =] expr"; a bare "VAR.attr" derives its name.

@@ -74,6 +74,12 @@ type queryPlan struct {
 	estRows      float64 // estimated result cardinality before dedup
 	parallelCut  float64 // estWork threshold for the parallel dispatch
 	overlapSkips int64   // interval-index probes skipped on selectivity advice
+
+	// Windowed-aggregation and coalescing annotations (see window.go).
+	windowSize int64   // window clause size; 0 when unwindowed
+	windowStep int64   // effective slide (size for tumbling windows)
+	coalesced  bool    // statement carries a coalesce clause
+	estWindows float64 // estimated windows the aggregation materializes
 }
 
 // planVar is one range variable's slot in the compiled plan, in binding
@@ -733,6 +739,38 @@ func (s *Session) buildPlan(n *RetrieveStmt, order []string, rels []*tdb.Relatio
 			pl.vars[depth].where = append(pl.vars[depth].where, r.expr)
 		} else {
 			pl.vars[depth].when = append(pl.vars[depth].when, r.te)
+		}
+	}
+
+	// Window-aware cost: a window clause adds a post-scan pass that buffers
+	// the joined rows and folds each into the windows it overlaps. The
+	// interval histograms' valid extent bounds how many windows can
+	// materialize — extent/slide — which both explain renders and the
+	// parallel-dispatch comparison prices in (a wide window sweep justifies
+	// fanning the scan out earlier). Coalescing adds one more linear pass.
+	if n.Window != nil {
+		pl.windowSize = n.Window.Size
+		pl.windowStep = n.Window.Step()
+		if pl.statsUsed {
+			var span float64
+			for i := range pl.vars {
+				if lo, hi, ok := pl.vars[i].rel.EstimateValidExtent(); ok {
+					if s := float64(hi - lo); s > span {
+						span = s
+					}
+				}
+			}
+			pl.estWindows = 1
+			if span > 0 {
+				pl.estWindows += span / float64(pl.windowStep)
+			}
+			pl.estWork += pl.estRows + pl.estWindows
+		}
+	}
+	if n.Coalesce {
+		pl.coalesced = true
+		if pl.statsUsed {
+			pl.estWork += pl.estRows
 		}
 	}
 	return pl, nil

@@ -534,6 +534,20 @@ func seededQuerySources() []string {
 		}
 		out = append(out, src)
 	}
+	// Window-aggregate and coalesce shapes, appended after the seeded loop
+	// so the original 60-query rng sequence (and every pinned plan that
+	// depends on it) is preserved. Year/half-year windows keep the per-query
+	// window count small over the 1977-84 fixture span.
+	out = append(out,
+		`retrieve (c = count(f.name)) window 31536000`,
+		`retrieve (e1.dept, c = count(e1.name), p = sum(e1.pay)) window 31536000`,
+		`retrieve (hi = max(e1.pay), lo = min(e1.pay)) window 63072000 slide 31536000`,
+		`retrieve (e1.dept, a = avg(e1.pay)) window 31536000 coalesce`,
+		`retrieve (f.name, f.rank) coalesce`,
+		`retrieve (e1.dept) where e1.pay >= 110 coalesce`,
+		`retrieve (c = count(f.name)) window 15768000 when f overlap "12/10/82"`,
+		`retrieve (f.name, n = count(f.rank)) window 63072000 slide 15768000 as of "12/10/82"`,
+	)
 	return out
 }
 

@@ -114,6 +114,9 @@ func TestDifferentialOnFollower(t *testing.T) {
 			where f1.name = "Merrie" and f2.name = "Tom"
 			when f1 overlap start of f2
 			as of "12/20/82"`,
+		`retrieve (f.name, c = count(f.rank)) window 31536000`,
+		`retrieve (f.name, f.rank) coalesce`,
+		`retrieve (c = count(f.name)) window 63072000 slide 15768000 as of "12/10/82"`,
 	} {
 		differential(t, fSes, src)
 		pRes, err := pSes.Query(src)
